@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark suite.
+
+Every ``test_bench_fig*.py`` module regenerates one figure of the
+paper's evaluation at a reduced virtual duration (the benchmark measures
+the regeneration cost; the shape assertions double as regression checks
+on the scientific result). ``--benchmark-only`` runs just these.
+
+Full-scale (one virtual year) regeneration goes through the CLI::
+
+    repro-lasthop all          # paper-scale, minutes per figure
+"""
+
+import pytest
+
+from repro.units import DAY
+
+#: Virtual duration used by figure benchmarks.
+BENCH_DAYS = 30 * DAY
+
+
+@pytest.fixture
+def bench_days():
+    return BENCH_DAYS

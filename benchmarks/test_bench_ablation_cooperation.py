@@ -1,0 +1,26 @@
+"""Benchmark ABL-COOP — multi-device cache cooperation (§4 future work)."""
+
+import pytest
+
+from repro.experiments.figures import ablation_cooperation as ablation
+
+from conftest import BENCH_DAYS
+
+CONFIG = ablation.AblationCooperationConfig(
+    duration=2 * BENCH_DAYS,
+    peer_counts=(0, 1),
+    adhoc_availabilities=(1.0,),
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_cooperation(benchmark):
+    table = benchmark.pedantic(ablation.run, args=(CONFIG,), rounds=1, iterations=1)
+    by_peers = {row[0]: row for row in table.rows}
+    alone_loss = by_peers[0][3]
+    together_loss = by_peers[1][3]
+    borrowed = by_peers[1][4]
+    # A peer cache reduces loss under coarse heavy-tailed outages, and
+    # the reduction comes from actually borrowed notifications.
+    assert together_loss < alone_loss
+    assert borrowed > 0

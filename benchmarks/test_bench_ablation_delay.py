@@ -1,0 +1,24 @@
+"""Benchmark ABL-DELAY — rank drops and the delay stage (§3.4)."""
+
+import pytest
+
+from repro.experiments.figures import ablation_rank_delay as ablation
+
+from conftest import BENCH_DAYS
+
+CONFIG = ablation.AblationDelayConfig(duration=2 * BENCH_DAYS, drop_fractions=(0.3,))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_rank_delay(benchmark):
+    table = benchmark.pedantic(ablation.run, args=(CONFIG,), rounds=2, iterations=1)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    off = rows[(0.3, "delay-off")]
+    adaptive = rows[(0.3, "delay-adaptive")]
+    # The delay stage absorbs demotions at the proxy: less waste, far
+    # fewer retraction messages, more drops caught before forwarding —
+    # paid for with slightly later reads.
+    assert adaptive[2] < off[2] / 2          # waste
+    assert adaptive[4] < off[4] / 2          # retractions
+    assert adaptive[5] > off[5]              # dropped before forward
+    assert adaptive[6] >= off[6]             # read age (timeliness cost)

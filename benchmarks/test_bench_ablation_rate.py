@@ -1,0 +1,20 @@
+"""Benchmark ABL-RATE — rate-based vs buffer-based prefetching (§3.2)."""
+
+import pytest
+
+from repro.experiments.figures import ablation_rate_vs_buffer as ablation
+
+from conftest import BENCH_DAYS
+
+CONFIG = ablation.AblationRateConfig(duration=2 * BENCH_DAYS, outage_fractions=(0.5,))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_rate_vs_buffer(benchmark):
+    table = benchmark.pedantic(ablation.run, args=(CONFIG,), rounds=2, iterations=1)
+    cells = {row[0]: (row[2], row[3]) for row in table.rows}
+    # Both prefetchers reduce inefficiency far below the pure policies;
+    # buffer-based ends up more effective overall.
+    assert sum(cells["rate"]) < sum(cells["online"]) / 3
+    assert sum(cells["rate"]) < sum(cells["on-demand"]) / 3
+    assert sum(cells["buffer-16"]) < sum(cells["rate"])

@@ -1,0 +1,25 @@
+"""Benchmark ABL-SCHEDULE — §2.2 delivery schedules on an on-line topic."""
+
+import pytest
+
+from repro.experiments.figures import ablation_schedule as ablation
+
+from conftest import BENCH_DAYS
+
+CONFIG = ablation.AblationScheduleConfig(
+    duration=2 * BENCH_DAYS, push_caps=(None, 8)
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_schedule(benchmark):
+    table = benchmark.pedantic(ablation.run, args=(CONFIG,), rounds=1, iterations=1)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    uncapped = rows[("∞", "-")]
+    capped = rows[(8, "-")]
+    # The cap actually limits interruptions and slashes on-line waste,
+    # while the fall-back to on-demand keeps loss small.
+    assert capped[2] <= 8.05
+    assert uncapped[2] > 25.0
+    assert capped[3] < uncapped[3] / 2
+    assert capped[4] < 10.0

@@ -1,0 +1,26 @@
+"""Benchmark ABL-ADAPT — the unified adaptive algorithm across
+heterogeneous workloads (§3.5, paper conclusion)."""
+
+import pytest
+
+from repro.experiments.figures import ablation_unified as ablation
+
+from conftest import BENCH_DAYS
+
+CONFIG = ablation.AblationUnifiedConfig(duration=BENCH_DAYS)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_unified(benchmark):
+    table = benchmark.pedantic(ablation.run, args=(CONFIG,), rounds=1, iterations=1)
+    by_policy = {}
+    for workload, policy, waste, loss in table.rows:
+        by_policy.setdefault(policy, []).append((workload, waste, loss))
+    # The unified policy keeps combined inefficiency moderate on every
+    # workload with zero per-workload tuning.
+    for workload, waste, loss in by_policy["unified"]:
+        assert waste + loss < 50.0, workload
+    # And on average it is far better than both pure extremes.
+    mean = lambda rows: sum(w + l for _, w, l in rows) / len(rows)  # noqa: E731
+    assert mean(by_policy["unified"]) < mean(by_policy["online"]) / 2
+    assert mean(by_policy["unified"]) < mean(by_policy["on-demand"]) / 2

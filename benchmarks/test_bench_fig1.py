@@ -1,0 +1,35 @@
+"""Benchmark FIG1 — waste due to overflow (paper Figure 1).
+
+Regenerates the figure's curve family at reduced duration and checks
+the overflow-waste formula the paper reports.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig1_overflow_waste as fig1
+from repro.metrics.analytic import expected_overflow_waste
+
+from conftest import BENCH_DAYS
+
+CONFIG = fig1.Fig1Config(
+    duration=BENCH_DAYS,
+    max_values=(1, 4, 16, 64),
+    user_frequencies=(0.5, 2.0, 8.0),
+)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_fig1_overflow_waste(benchmark):
+    table = benchmark.pedantic(fig1.run, args=(CONFIG,), rounds=2, iterations=1)
+    # Shape: waste tracks 1 - uf*Max/ef along every curve. Cells near
+    # the balance point (read capacity ≈ arrival rate) are excluded: the
+    # unread backlog there is a random walk whose end-of-run residue
+    # dominates a 30-day run (the year-long regeneration converges).
+    for row in table.rows:
+        max_per_read = row[0]
+        for uf, cell in zip(CONFIG.user_frequencies, row[1:-1]):
+            capacity_ratio = uf * max_per_read / 32.0
+            if 0.7 <= capacity_ratio <= 1.5:
+                continue
+            expected = 100.0 * expected_overflow_waste(uf, max_per_read, 32.0)
+            assert cell == pytest.approx(expected, abs=8.0)

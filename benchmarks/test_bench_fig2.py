@@ -1,0 +1,24 @@
+"""Benchmark FIG2 — loss due to overflow under pure on-demand (Figure 2)."""
+
+import pytest
+
+from repro.experiments.figures import fig2_overflow_loss as fig2
+
+from conftest import BENCH_DAYS
+
+CONFIG = fig2.Fig2Config(
+    duration=BENCH_DAYS,
+    outage_fractions=(0.0, 0.5, 0.9, 1.0),
+    user_frequencies=(1.0, 8.0),
+)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_fig2_overflow_loss(benchmark):
+    table = benchmark.pedantic(fig2.run, args=(CONFIG,), rounds=2, iterations=1)
+    curve = {row[0]: row[1] for row in table.rows}  # uf = 1 column
+    # Shape: 0 at full connectivity, growing with outage, 0 again at 1.0.
+    assert curve[0.0] < 5.0
+    assert curve[0.5] > 20.0
+    assert curve[0.9] > curve[0.5]
+    assert curve[1.0] == 0.0

@@ -1,0 +1,30 @@
+"""Benchmark FIG3 — buffer-based prefetching sweep (Figure 3)."""
+
+import pytest
+
+from repro.experiments.figures import fig3_buffer_prefetch as fig3
+
+from conftest import BENCH_DAYS
+
+CONFIG = fig3.Fig3Config(
+    duration=BENCH_DAYS,
+    prefetch_limits=(1, 16, 64, 4096),
+    outage_fractions=(0.5,),
+)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_fig3_buffer_prefetch(benchmark):
+    loss_table, waste_table = benchmark.pedantic(
+        fig3.run, args=(CONFIG,), rounds=2, iterations=1
+    )
+    losses = {row[0]: row[1] for row in loss_table.rows}
+    wastes = {row[0]: row[1] for row in waste_table.rows}
+    # Shape: loss collapses by limit 16; waste grows with the limit
+    # toward the 50 % plateau. (Absolute waste at 30 days carries the
+    # end-of-run device stock, so the bounds are shape-relative.)
+    assert losses[1] > 20.0
+    assert losses[16] < 8.0
+    assert wastes[16] < 5.0
+    assert wastes[16] <= wastes[64] <= wastes[4096]
+    assert wastes[4096] > 20.0

@@ -1,0 +1,26 @@
+"""Benchmark FIG4 — waste due to expirations, Max = ∞ (Figure 4)."""
+
+import pytest
+
+from repro.experiments.figures import fig4_expiration_waste as fig4
+
+from conftest import BENCH_DAYS
+
+CONFIG = fig4.Fig4Config(
+    duration=BENCH_DAYS,
+    expiration_means=(64.0, 4096.0, 262144.0),
+    user_frequencies=(2.0, 16.0),
+)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_bench_fig4_expiration_waste(benchmark):
+    table = benchmark.pedantic(fig4.run, args=(CONFIG,), rounds=2, iterations=1)
+    uf2 = {row[0]: row[1] for row in table.rows}
+    uf16 = {row[0]: row[2] for row in table.rows}
+    # Shape: waste falls monotonically with expiration time, and the
+    # frequent reader always wastes less.
+    assert uf2[64.0] > 95.0
+    assert uf2[64.0] > uf2[4096.0] > uf2[262144.0]
+    for expiration in CONFIG.expiration_means:
+        assert uf16[expiration] <= uf2[expiration] + 1.0

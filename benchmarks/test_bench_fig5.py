@@ -1,0 +1,25 @@
+"""Benchmark FIG5 — loss due to expirations, on-demand, 95 % outage
+(Figure 5)."""
+
+import pytest
+
+from repro.experiments.figures import fig5_expiration_loss as fig5
+
+from conftest import BENCH_DAYS
+
+CONFIG = fig5.Fig5Config(
+    duration=2 * BENCH_DAYS,  # 95 % outage needs more reads for stable sets
+    expiration_means=(64.0, 65536.0),
+    user_frequencies=(2.0,),
+)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_bench_fig5_expiration_loss(benchmark):
+    table = benchmark.pedantic(fig5.run, args=(CONFIG,), rounds=2, iterations=1)
+    losses = {row[0]: row[1] for row in table.rows}
+    # Shape: negligible loss when notifications expire almost instantly
+    # (nothing is readable either way), high loss in the mid-range where
+    # on-line keeps messages readable through outages.
+    assert losses[64.0] < 10.0
+    assert losses[65536.0] > 40.0

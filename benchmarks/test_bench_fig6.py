@@ -1,0 +1,34 @@
+"""Benchmark FIG6 — the prefetch expiration-threshold sweep (Figure 6)."""
+
+import pytest
+
+from repro.experiments.figures import fig6_expiration_threshold as fig6
+
+from conftest import BENCH_DAYS
+
+CONFIG = fig6.Fig6Config(
+    duration=2 * BENCH_DAYS,
+    thresholds=(64.0, 262144.0),
+    expiration_means=(15360.0, 3932160.0),  # 4.2 h and ~45 days
+)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_bench_fig6_expiration_threshold(benchmark):
+    waste_table, loss_table = benchmark.pedantic(
+        fig6.run, args=(CONFIG,), rounds=2, iterations=1
+    )
+    short_waste = {row[0]: row[1] for row in waste_table.rows}
+    short_loss = {row[0]: row[1] for row in loss_table.rows}
+    long_waste = {row[0]: row[2] for row in waste_table.rows}
+    long_loss = {row[0]: row[2] for row in loss_table.rows}
+    # 4.2 h expirations: waste high -> ~0 as the threshold passes the
+    # lifetime; loss 0 -> high ("too high of a threshold is as bad as no
+    # prefetching at all").
+    assert short_waste[64.0] > 40.0
+    assert short_waste[262144.0] < 5.0
+    assert short_loss[64.0] < 5.0
+    assert short_loss[262144.0] > 25.0
+    # 45-day expirations: the gap — both small at a mid threshold.
+    assert long_waste[262144.0] < 10.0
+    assert long_loss[262144.0] < 10.0

@@ -1,0 +1,91 @@
+"""Micro-benchmarks for the simulation substrate.
+
+These bound the cost of the hot paths a year-long run exercises tens of
+thousands of times: engine scheduling, ranked-queue churn, trace
+generation, and a complete paired scenario run.
+"""
+
+import pytest
+
+from repro.broker.message import Notification
+from repro.experiments.runner import run_paired
+from repro.proxy.policies import PolicyConfig
+from repro.proxy.queues import RankedQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+from repro.types import EventId, TopicId
+from repro.units import DAY
+from repro.workload.arrivals import ArrivalConfig
+from repro.workload.outages import OutageConfig
+from repro.workload.reads import ReadConfig
+from repro.workload.scenario import ScenarioConfig, build_trace
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_engine_schedule_and_run(benchmark):
+    def run_engine():
+        sim = Simulator()
+        rng = RandomSource(1)
+        for _ in range(10_000):
+            sim.schedule(rng.uniform(0.0, 1000.0), lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run_engine)
+    assert processed == 10_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_ranked_queue_churn(benchmark):
+    rng = RandomSource(2)
+    items = [
+        Notification(
+            event_id=EventId(i),
+            topic=TopicId("t"),
+            rank=rng.uniform(0.0, 5.0),
+            published_at=0.0,
+        )
+        for i in range(5_000)
+    ]
+
+    def churn():
+        queue = RankedQueue()
+        for item in items:
+            queue.add(item)
+        popped = 0
+        while queue:
+            queue.top_n(8)
+            for _ in range(8):
+                if queue.pop_highest() is None:
+                    break
+                popped += 1
+        return popped
+
+    assert benchmark(churn) == 5_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_trace_generation(benchmark):
+    config = ScenarioConfig(
+        duration=90 * DAY,
+        arrivals=ArrivalConfig(events_per_day=32.0, expiring_fraction=1.0),
+        reads=ReadConfig(reads_per_day=4.0),
+        outages=OutageConfig(downtime_fraction=0.5, outages_per_day=4.0),
+    )
+    trace = benchmark(build_trace, config, 3)
+    assert len(trace.arrivals) > 2_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_paired_run(benchmark):
+    config = ScenarioConfig(
+        duration=30 * DAY,
+        arrivals=ArrivalConfig(events_per_day=32.0),
+        reads=ReadConfig(reads_per_day=2.0, read_count=8),
+        outages=OutageConfig(downtime_fraction=0.5, outages_per_day=4.0),
+    )
+    trace = build_trace(config, seed=4)
+    result = benchmark.pedantic(
+        run_paired, args=(trace, PolicyConfig.unified()), rounds=3, iterations=1
+    )
+    assert result.metrics.waste < 0.1

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: measure waste and loss of the paper's unified algorithm.
+
+Builds the paper's baseline scenario (32 notifications/day, a user who
+reads 8 messages twice a day, a last-hop link that is down 70 % of the
+time), freezes one randomized trace, and executes the paired runs: the
+on-line baseline and the unified prefetching algorithm of Figure 7.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PolicyConfig, ScenarioConfig, build_trace, run_paired
+from repro.units import DAY
+from repro.workload import ArrivalConfig, OutageConfig, ReadConfig
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        duration=120 * DAY,
+        arrivals=ArrivalConfig(events_per_day=32.0),
+        reads=ReadConfig(reads_per_day=2.0, read_count=8),
+        outages=OutageConfig(
+            downtime_fraction=0.7, outages_per_day=4.0, duration_sigma=0.5
+        ),
+    )
+    trace = build_trace(config, seed=42)
+    print(trace.describe())
+    print()
+
+    for label, policy in [
+        ("on-line (forward everything)", PolicyConfig.online()),
+        ("pure on-demand (never push)", PolicyConfig.on_demand()),
+        ("unified prefetching (Figure 7)", PolicyConfig.unified()),
+    ]:
+        result = run_paired(trace, policy)
+        print(f"{label:32s} waste {result.metrics.waste_percent:5.1f} %   "
+              f"loss {result.metrics.loss_percent:5.1f} %")
+
+    print()
+    print("The unified algorithm keeps vain traffic on the last hop to a")
+    print("few percentage points while the quality of service stays high —")
+    print("the paper's concluding claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Resilient delivery: replicated proxies and cooperating devices (§4).
+
+The paper's future-work list names two availability problems: the proxy
+as a single point of failure, and cooperation among a user's devices.
+This example exercises both extensions on one challenging scenario —
+a commuter whose phone spends 90 % of the time off the network in long,
+heavy-tailed outages:
+
+1. the last-hop proxy is a primary/backup pair, and the primary is
+   crashed halfway through the run;
+2. the user also owns a well-cached laptop whose link fails
+   independently; reads on the phone borrow from the laptop's cache
+   over the local ad-hoc network.
+
+Run:  python examples/resilient_delivery.py
+"""
+
+import dataclasses
+
+from repro import PolicyConfig, run_paired
+from repro.experiments.cooperation import CooperationConfig, run_cooperative_paired
+from repro.experiments.runner import ReplicationSpec
+from repro.units import DAY
+from repro.workload import ArrivalConfig, OutageConfig, ReadConfig
+from repro.workload.scenario import ScenarioConfig, build_trace
+
+DAYS = 120
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        duration=DAYS * DAY,
+        arrivals=ArrivalConfig(events_per_day=32.0),
+        reads=ReadConfig(reads_per_day=2.0, read_count=8),
+        outages=OutageConfig(
+            downtime_fraction=0.9, outages_per_day=1.0, duration_sigma=1.0
+        ),
+    )
+    trace = build_trace(config, seed=21)
+    print(trace.describe())
+    print()
+
+    # 1. Replication: crash the primary proxy on day 60.
+    plain = run_paired(trace, PolicyConfig.unified())
+    crashed = run_paired(
+        trace,
+        PolicyConfig.unified(),
+        replication=ReplicationSpec(fail_primary_at=60 * DAY),
+    )
+    print("single proxy                 "
+          f"waste {plain.metrics.waste_percent:5.1f} %  "
+          f"loss {plain.metrics.loss_percent:5.1f} %")
+    print("replicated, primary dies d60 "
+          f"waste {crashed.metrics.waste_percent:5.1f} %  "
+          f"loss {crashed.metrics.loss_percent:5.1f} %   "
+          "(failover is invisible to the user)")
+    print()
+
+    # 2. Cooperation: add a laptop whose link fails independently.
+    for peers, label in ((1, "phone + laptop"), (2, "phone + laptop + tablet")):
+        together = run_cooperative_paired(
+            trace,
+            PolicyConfig.unified(),
+            CooperationConfig(n_peers=peers, peer_outage_fraction=0.5),
+        )
+        print(f"{label:28s} "
+              f"waste {together.metrics.waste_percent:5.1f} %  "
+              f"loss {together.metrics.loss_percent:5.1f} %   "
+              f"(borrowed {together.cooperative.borrowed} from peer caches)")
+
+    print()
+    print("Long heavy-tailed outages exhaust a lone phone's prefetch buffer;")
+    print("peer caches recover a large share of the reads the on-line")
+    print("baseline would have served — the effect §4 anticipates.")
+
+
+if __name__ == "__main__":
+    main()

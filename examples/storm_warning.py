@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Ranks, expirations, and retractions on a weather topic (§2.1, §3.4).
+
+"If, for example, a publisher of a weather topic fails to attach a high
+priority to a storm warning, resulting in that message being lost among
+other weather updates, a user would likely consider switching to a
+different publisher."
+
+A weather service publishes routine updates (low rank, short
+expiration) and occasional storm warnings (rank 4.9, long expiration).
+A mis-ranked warning is corrected upward after publication; a false
+alarm is retracted by a rank drop. The device's Threshold-4 subscription
+plus the proxy's rank-change handling make sure the user sees exactly
+the warnings that matter.
+
+Run:  python examples/storm_warning.py
+"""
+
+from repro import (
+    BrokerOverlay,
+    ClientDevice,
+    LastHopLink,
+    LastHopProxy,
+    PolicyConfig,
+    ProxyConfig,
+    Publisher,
+    RandomSource,
+    RunStats,
+    Simulator,
+    Subscriber,
+)
+from repro.types import NodeId, TopicId
+from repro.units import DAY, HOUR
+
+TOPIC = "news/weather/tromso"
+THRESHOLD = 4.0
+
+
+def main() -> None:
+    sim = Simulator()
+    stats = RunStats()
+    rng = RandomSource(seed=3)
+
+    overlay = BrokerOverlay(sim)
+    hub = overlay.add_broker(NodeId("hub"))
+    met = Publisher(NodeId("met.no"), hub, sim)
+    met.advertise(TOPIC, "Tromsø weather")
+
+    link = LastHopLink(sim, stats)
+    device = ClientDevice(sim, link, stats)
+    device.add_topic(TopicId(TOPIC), threshold=THRESHOLD)
+    proxy = LastHopProxy(
+        sim, link, ProxyConfig(PolicyConfig.buffer(prefetch_limit=8)), stats
+    )
+    proxy.add_topic(TopicId(TOPIC), rank_threshold=THRESHOLD)
+    device.attach_proxy(proxy)
+    link.add_status_listener(proxy.on_network)
+    Subscriber(NodeId("phone-proxy"), hub).subscribe(
+        TOPIC,
+        lambda n, _s: proxy.on_notification(n),
+        threshold=THRESHOLD,
+    )
+
+    # A week of routine forecasts: rank ~2, valid for six hours.
+    for day in range(7):
+        for hour in range(0, 24, 3):
+            time = day * DAY + hour * HOUR
+            rank = rng.uniform(1.0, 3.0)
+            sim.schedule_at(
+                time,
+                lambda r=rank: met.publish(
+                    TOPIC, rank=r, expires_in=6 * HOUR, payload="routine forecast"
+                ),
+            )
+
+    events = {}
+
+    def publish_warning(key, rank, payload):
+        events[key] = met.publish(TOPIC, rank=rank, expires_in=4 * DAY, payload=payload)
+
+    # Day 2: a storm warning, correctly ranked — goes straight through.
+    sim.schedule_at(2 * DAY, publish_warning, "storm", 4.9, "STORM WARNING")
+    # Day 4: a mis-ranked warning (2.5), corrected to 4.8 an hour later.
+    sim.schedule_at(4 * DAY, publish_warning, "misranked", 2.5, "gale warning")
+    sim.schedule_at(
+        4 * DAY + HOUR, lambda: met.change_rank(events["misranked"].event_id, 4.8)
+    )
+    # Day 5: a false alarm at 4.7, retracted below threshold an hour later.
+    sim.schedule_at(5 * DAY, publish_warning, "false-alarm", 4.7, "false alarm")
+    sim.schedule_at(
+        5 * DAY + HOUR, lambda: met.change_rank(events["false-alarm"].event_id, 0.5)
+    )
+
+    # The user checks messages half a day after the false alarm was
+    # retracted; both genuine warnings are still in force.
+    sim.run(until=5 * DAY + 12 * HOUR)
+    outcome = device.perform_read(TopicId(TOPIC), 8)
+
+    print(f"forecasts published        : {stats.arrivals}")
+    print(f"accepted above threshold 4 : {stats.accepted}")
+    print(f"rank changes processed     : {stats.rank_changes}")
+    print(f"retractions over last hop  : {stats.retractions_sent}")
+    print(f"retracted on device        : {stats.retracted_on_device}")
+    print()
+    print("what the user reads:")
+    for message in outcome.consumed:
+        print(f"  rank {message.rank:.1f}  {message.payload}")
+
+    payloads = {m.payload for m in outcome.consumed}
+    assert "STORM WARNING" in payloads
+    assert "gale warning" in payloads       # boosted into view
+    assert "false alarm" not in payloads    # retracted before reading
+    assert "routine forecast" not in payloads
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Location-aware traffic updates via the context-update handler (§2.3).
+
+"A subscription to a topic for traffic updates could be contingent upon
+the device being located in the home city of the user. Perhaps more
+ambitiously, such subscription could be 'parameterized' to receive
+traffic updates for whatever city the user happens to be in."
+
+A traveller moves between three Norwegian cities over two months; each
+city's road authority publishes traffic updates on its own topic. The
+context-update handler re-subscribes the parameterized topic
+``news/traffic/{city}`` on every move, so the device only ever receives
+the traffic that is relevant where it is.
+
+Run:  python examples/traffic_context.py
+"""
+
+from collections import Counter
+
+from repro import (
+    BrokerOverlay,
+    Publisher,
+    RandomSource,
+    Simulator,
+    Subscriber,
+)
+from repro.context.gps import Location, TrackConfig, generate_track
+from repro.context.handler import ContextUpdateHandler, ParameterizedInterest
+from repro.types import NodeId
+from repro.units import DAY, HOUR
+
+CITIES = (
+    Location("tromso", 69.65, 18.96),
+    Location("oslo", 59.91, 10.75),
+    Location("bergen", 60.39, 5.32),
+)
+
+
+def main() -> None:
+    sim = Simulator()
+    rng = RandomSource(seed=11)
+
+    overlay = BrokerOverlay(sim)
+    hub = overlay.add_broker(NodeId("hub"))
+    roads = Publisher(NodeId("vegvesen"), hub, sim)
+    for city in CITIES:
+        roads.advertise(f"news/traffic/{city.name}", f"Traffic updates for {city.name}")
+
+    received = Counter()
+    subscriber = Subscriber(NodeId("traveller-proxy"), hub)
+    handler = ContextUpdateHandler(subscriber)
+    handler.register(
+        ParameterizedInterest(
+            template="news/traffic/{city}",
+            callback=lambda n, _s: received.update([n.topic]),
+            threshold=0.0,
+        )
+    )
+
+    # Two months of movement: home in Tromsø, trips to Oslo and Bergen.
+    track = generate_track(
+        TrackConfig(home=CITIES[0], destinations=CITIES[1:], mean_stay=5 * DAY),
+        duration=60 * DAY,
+        rng=rng.spawn("track"),
+    )
+    for visit in track.transitions():
+        sim.schedule_at(visit.time, handler.on_context_update, visit.location)
+
+    # Each city publishes traffic updates around rush hours.
+    publish_rng = rng.spawn("traffic")
+    for day in range(60):
+        for city in CITIES:
+            for rush in (8 * HOUR, 16 * HOUR):
+                for _ in range(publish_rng.poisson(3.0)):
+                    time = day * DAY + rush + publish_rng.normal(0.0, HOUR)
+                    severity = publish_rng.uniform(0.0, 5.0)
+                    sim.schedule_at(
+                        max(0.0, time),
+                        lambda c=city.name, s=severity: roads.publish(
+                            f"news/traffic/{c}", rank=s, expires_in=4 * HOUR
+                        ),
+                    )
+
+    sim.run(until=60 * DAY)
+
+    time_in = Counter()
+    for earlier, later in zip(track.visits, list(track.visits[1:]) + [None]):
+        end = 60 * DAY if later is None else later.time
+        time_in[earlier.location.name] += end - earlier.time
+
+    print(f"moves made              : {len(track.transitions()) - 1}")
+    print(f"re-subscriptions issued : {handler.resubscriptions}")
+    print()
+    print("city      days present   updates received")
+    for city in CITIES:
+        days = time_in[city.name] / DAY
+        count = received[f"news/traffic/{city.name}"]
+        print(f"{city.name:8s}  {days:12.1f}   {count:16d}")
+    total = sum(received.values())
+    print(f"\ntotal updates received  : {total} "
+          f"(≈ {total / 60:.1f}/day, only ever for the current city)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate every full-scale table in results/ plus the scorecard.
+# One virtual year per run; ~15 minutes total on a laptop.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+figures=$(python -m repro.experiments.cli list | awk '{print $1}' | grep -v '^validate$')
+for fig in $figures; do
+    echo "=== $fig"
+    python -m repro.experiments.cli "$fig" --quiet --output "results/$fig.txt"
+done
+echo "=== validate"
+python -m repro.experiments.cli validate --quiet --output results/validate.txt
+echo "done; see results/"

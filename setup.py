@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in environments without the ``wheel`` module
+(``python setup.py develop`` / ``pip install -e .`` legacy path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""repro — volume-limiting publish/subscribe with last-hop prefetching.
+
+A production-quality reproduction of Zagorodnov & Johansen, *The Last
+Hop of Global Notification Delivery to Mobile Users: Accommodating
+Volume Limits and Device Constraints* (ICDCS 2005).
+
+Quickstart::
+
+    from repro import (PolicyConfig, ScenarioConfig, build_trace,
+                       run_paired)
+
+    config = ScenarioConfig()                 # paper defaults
+    trace = build_trace(config, seed=42)
+    result = run_paired(trace, PolicyConfig.unified())
+    print(result.metrics.describe())
+
+The layers, bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event engine, seeded RNG,
+  frozen traces;
+* :mod:`repro.workload` — arrival/read/outage/rank-change generators;
+* :mod:`repro.broker` — the topic-based routing substrate (publishers,
+  subscriptions, broker overlay);
+* :mod:`repro.proxy` — the volume-limiting last-hop proxy (the paper's
+  Figure 7 algorithm and the forwarding-policy spectrum);
+* :mod:`repro.device` — the mobile device, last-hop link, battery and
+  storage constraints;
+* :mod:`repro.context` — location-parameterized re-subscription;
+* :mod:`repro.metrics` — waste/loss accounting;
+* :mod:`repro.experiments` — the harness regenerating every figure of
+  the paper's evaluation.
+"""
+
+from repro.broker.client_api import Publisher, Subscriber
+from repro.broker.message import Notification
+from repro.broker.overlay import BrokerOverlay
+from repro.broker.subscriptions import Subscription
+from repro.device.battery import Battery
+from repro.device.cooperation import AdHocNetwork, DeviceGroup
+from repro.device.device import ClientDevice
+from repro.device.link import LastHopLink
+from repro.device.storage import StoragePolicy
+from repro.experiments.runner import (
+    PairedResult,
+    ReplicationSpec,
+    RunResult,
+    run_paired,
+    run_paired_config,
+    run_scenario,
+)
+from repro.metrics.accounting import RunStats
+from repro.metrics.analytic import expected_expiration_waste, expected_overflow_waste
+from repro.metrics.cost import TariffModel, price_run
+from repro.metrics.waste_loss import PairedMetrics, compute_loss, compute_waste
+from repro.proxy.policies import PolicyConfig
+from repro.proxy.proxy import LastHopProxy, ProxyConfig
+from repro.proxy.replication import ReplicatedProxy
+from repro.proxy.schedule import DeliverySchedule, QuietHours
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+from repro.sim.trace import Trace
+from repro.sim.trace_io import load_trace, save_trace
+from repro.types import NetworkStatus, PolicyKind, TopicType
+from repro.workload.diurnal import DiurnalProfile
+from repro.workload.scenario import ScenarioConfig, build_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdHocNetwork",
+    "Battery",
+    "BrokerOverlay",
+    "ClientDevice",
+    "DeliverySchedule",
+    "DeviceGroup",
+    "DiurnalProfile",
+    "LastHopLink",
+    "LastHopProxy",
+    "NetworkStatus",
+    "Notification",
+    "PairedMetrics",
+    "PairedResult",
+    "PolicyConfig",
+    "PolicyKind",
+    "ProxyConfig",
+    "Publisher",
+    "QuietHours",
+    "RandomSource",
+    "ReplicatedProxy",
+    "ReplicationSpec",
+    "RunResult",
+    "RunStats",
+    "ScenarioConfig",
+    "Simulator",
+    "StoragePolicy",
+    "Subscriber",
+    "Subscription",
+    "TariffModel",
+    "Trace",
+    "TopicType",
+    "build_trace",
+    "compute_loss",
+    "compute_waste",
+    "expected_expiration_waste",
+    "expected_overflow_waste",
+    "load_trace",
+    "price_run",
+    "run_paired",
+    "run_paired_config",
+    "run_scenario",
+    "save_trace",
+    "__version__",
+]

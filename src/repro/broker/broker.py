@@ -1,0 +1,97 @@
+"""A single broker node.
+
+Brokers accept client attachments (publishers, and proxies acting as
+subscribers), keep the subscription table for their local clients, and
+hand inter-broker traffic to the :class:`~repro.broker.overlay.BrokerOverlay`.
+Routing is purely topic-based: the broker forwards every notification on
+a topic to every local subscriber of that topic; qualitative filtering
+(Threshold) is applied at the last-hop proxy, where the paper places it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Set
+
+from repro.broker.message import Notification
+from repro.broker.subscriptions import Subscription
+from repro.errors import SubscriptionError
+from repro.types import NodeId, TopicId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.broker.overlay import BrokerOverlay
+
+#: A local delivery callback: (notification, subscription) -> None.
+DeliveryCallback = Callable[[Notification, Subscription], None]
+
+
+class Broker:
+    """One node of the pub/sub routing overlay."""
+
+    def __init__(self, node_id: NodeId, overlay: "BrokerOverlay") -> None:
+        self.node_id = node_id
+        self._overlay = overlay
+        #: topic -> list of (subscription, callback) for local clients.
+        self._local: Dict[TopicId, List] = {}
+        self._delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def subscribe(self, subscription: Subscription, callback: DeliveryCallback) -> None:
+        """Register a local client's subscription."""
+        subscription.validate()
+        self._overlay.registry.lookup(subscription.topic)  # must be advertised
+        entries = self._local.setdefault(subscription.topic, [])
+        if any(existing.subscription_id == subscription.subscription_id
+               for existing, _ in entries):
+            raise SubscriptionError(
+                f"subscription {subscription.subscription_id} already registered"
+            )
+        entries.append((subscription, callback))
+        self._overlay.note_subscription(subscription.topic, self.node_id)
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove a previously registered subscription."""
+        entries = self._local.get(subscription.topic, [])
+        for index, (existing, _) in enumerate(entries):
+            if existing.subscription_id == subscription.subscription_id:
+                del entries[index]
+                break
+        else:
+            raise SubscriptionError(
+                f"subscription {subscription.subscription_id} is not registered "
+                f"at broker {self.node_id!r}"
+            )
+        if not entries:
+            del self._local[subscription.topic]
+            self._overlay.note_unsubscription(subscription.topic, self.node_id)
+
+    def subscriptions(self, topic: TopicId) -> Iterator[Subscription]:
+        """Yield local subscriptions on ``topic``."""
+        for subscription, _ in self._local.get(topic, []):
+            yield subscription
+
+    @property
+    def subscribed_topics(self) -> Set[TopicId]:
+        return set(self._local)
+
+    @property
+    def delivered_count(self) -> int:
+        """Notifications delivered to local clients (all subscriptions)."""
+        return self._delivered_count
+
+    # ------------------------------------------------------------------
+    # Publication path
+    # ------------------------------------------------------------------
+    def publish(self, notification: Notification) -> None:
+        """Inject a notification from a locally attached publisher."""
+        self._overlay.route(self.node_id, notification)
+
+    def deliver_local(self, notification: Notification) -> None:
+        """Deliver a routed notification to every local subscriber."""
+        for subscription, callback in list(self._local.get(notification.topic, [])):
+            self._delivered_count += 1
+            callback(notification, subscription)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Broker({self.node_id!r}, topics={sorted(self._local)})"

@@ -1,0 +1,221 @@
+"""Publisher and subscriber handles — the system's public pub/sub API.
+
+These are the classic ``publish()`` / ``subscribe()`` methods augmented
+with the volume-limiting parameters the paper introduces: publishers
+annotate notifications with Rank and Expiration; subscribers attach Max
+and Threshold to their subscriptions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.broker.broker import Broker, DeliveryCallback
+from repro.broker.message import DEFAULT_SIZE_BYTES, Notification
+from repro.broker.subscriptions import Subscription
+from repro.broker.topics import TopicDescriptor, parameterize
+from repro.errors import ConfigurationError, SubscriptionError
+from repro.sim.engine import Simulator
+from repro.types import EventId, NodeId, TopicId, TopicType
+
+
+class Publisher:
+    """A publisher attached to one broker.
+
+    Example::
+
+        pub = Publisher("met.no", broker, sim)
+        pub.advertise("news/weather/tromso", "Tromsø weather updates")
+        pub.publish("news/weather/tromso", rank=4.8,
+                    expires_in=6 * 3600, payload="storm warning")
+    """
+
+    def __init__(self, node_id: NodeId, broker: Broker, sim: Simulator) -> None:
+        self.node_id = node_id
+        self._broker = broker
+        self._sim = sim
+        self._published: Dict[EventId, Notification] = {}
+
+    def advertise(self, topic: str, description: str = "", ranked: bool = True) -> None:
+        """Advertise a topic this publisher will publish on."""
+        self._broker._overlay.registry.advertise(
+            TopicDescriptor(
+                topic=TopicId(topic),
+                publisher=self.node_id,
+                description=description,
+                ranked=ranked,
+            )
+        )
+
+    def withdraw(self, topic: str) -> None:
+        """Withdraw a previously advertised topic."""
+        self._broker._overlay.registry.withdraw(TopicId(topic), self.node_id)
+
+    def publish(
+        self,
+        topic: str,
+        rank: float = 0.0,
+        expires_in: Optional[float] = None,
+        payload: object = None,
+        size_bytes: int = DEFAULT_SIZE_BYTES,
+    ) -> Notification:
+        """Publish one notification, annotated with Rank and Expiration.
+
+        ``expires_in`` is a relative lifetime in seconds (the paper's
+        ``event.expires``); None means the notification never expires.
+        """
+        descriptor = self._broker._overlay.registry.lookup(TopicId(topic))
+        if descriptor.publisher != self.node_id:
+            raise SubscriptionError(
+                f"{self.node_id!r} cannot publish on topic {topic!r} advertised "
+                f"by {descriptor.publisher!r}"
+            )
+        if expires_in is not None and expires_in <= 0:
+            raise ConfigurationError(f"expires_in must be positive, got {expires_in}")
+        now = self._sim.now
+        notification = Notification(
+            event_id=self._broker._overlay.next_event_id(),
+            topic=TopicId(topic),
+            rank=rank,
+            published_at=now,
+            expires_at=None if expires_in is None else now + expires_in,
+            payload=payload,
+            size_bytes=size_bytes,
+        )
+        self._published[notification.event_id] = notification
+        self._broker.publish(notification)
+        return notification
+
+    def change_rank(self, event_id: EventId, new_rank: float) -> Notification:
+        """Re-announce a past notification with a changed rank (paper §3.4).
+
+        The update is routed exactly like a publication; receivers match
+        it against their history by event id.
+        """
+        original = self._published.get(event_id)
+        if original is None:
+            raise SubscriptionError(
+                f"{self.node_id!r} never published event {event_id}"
+            )
+        update = Notification(
+            event_id=original.event_id,
+            topic=original.topic,
+            rank=new_rank,
+            published_at=original.published_at,
+            expires_at=original.expires_at,
+            payload=original.payload,
+            size_bytes=original.size_bytes,
+            original_rank=original.original_rank,
+        )
+        self._broker.publish(update)
+        return update
+
+
+class Subscriber:
+    """A subscriber attached to one broker.
+
+    Real deployments attach a *proxy* here which relays to the mobile
+    device; tests and examples may also attach plain callbacks.
+    """
+
+    def __init__(self, node_id: NodeId, broker: Broker) -> None:
+        self.node_id = node_id
+        self._broker = broker
+        self._subscriptions: Dict[int, Subscription] = {}
+
+    def subscribe(
+        self,
+        topic: str,
+        callback: DeliveryCallback,
+        max_per_read: int = 8,
+        threshold: float = 0.0,
+        mode: TopicType = TopicType.ON_DEMAND,
+        **params: str,
+    ) -> Subscription:
+        """Subscribe to a topic with volume limits.
+
+        ``params`` instantiate a parameterized topic template, e.g.
+        ``subscribe("news/traffic/{city}", cb, city="tromso")``.
+        """
+        topic_id = parameterize(topic, **params) if params else TopicId(topic)
+        subscription = Subscription(
+            subscriber=self.node_id,
+            topic=topic_id,
+            max_per_read=max_per_read,
+            threshold=threshold,
+            mode=mode,
+            params=dict(params),
+        )
+        self._broker.subscribe(subscription, callback)
+        self._subscriptions[subscription.subscription_id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Cancel a subscription made through this handle."""
+        if subscription.subscription_id not in self._subscriptions:
+            raise SubscriptionError(
+                f"subscription {subscription.subscription_id} does not belong "
+                f"to {self.node_id!r}"
+            )
+        self._broker.unsubscribe(subscription)
+        del self._subscriptions[subscription.subscription_id]
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        """Active subscriptions made through this handle."""
+        return list(self._subscriptions.values())
+
+    def resubscribe(
+        self, subscription: Subscription, callback: DeliveryCallback, **params: str
+    ) -> Subscription:
+        """Atomically replace a subscription with new context parameters.
+
+        This is the primitive the paper's context-update handler uses:
+        "the proxy detects a change in context and re-subscribes the user
+        to the traffic updates topic with the new location as a
+        parameter" (§2.3).
+        """
+        template = subscription.params.get("_template")
+        if template is None:
+            raise SubscriptionError(
+                "subscription was not created from a template; cannot re-parameterize"
+            )
+        self.unsubscribe(subscription)
+        merged = {k: v for k, v in subscription.params.items() if k != "_template"}
+        merged.update(params)
+        new_topic = parameterize(template, **merged)
+        replacement = Subscription(
+            subscriber=self.node_id,
+            topic=new_topic,
+            max_per_read=subscription.max_per_read,
+            threshold=subscription.threshold,
+            mode=subscription.mode,
+            params={**merged, "_template": template},
+        )
+        self._broker.subscribe(replacement, callback)
+        self._subscriptions[replacement.subscription_id] = replacement
+        return replacement
+
+    def subscribe_template(
+        self,
+        template: str,
+        callback: DeliveryCallback,
+        max_per_read: int = 8,
+        threshold: float = 0.0,
+        mode: TopicType = TopicType.ON_DEMAND,
+        **params: str,
+    ) -> Subscription:
+        """Subscribe to a parameterized topic, remembering the template so
+        later context updates can re-instantiate it."""
+        topic_id = parameterize(template, **params)
+        subscription = Subscription(
+            subscriber=self.node_id,
+            topic=topic_id,
+            max_per_read=max_per_read,
+            threshold=threshold,
+            mode=mode,
+            params={**params, "_template": template},
+        )
+        self._broker.subscribe(subscription, callback)
+        self._subscriptions[subscription.subscription_id] = subscription
+        return subscription

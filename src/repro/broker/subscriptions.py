@@ -1,0 +1,68 @@
+"""Subscriptions carrying the subscriber-side volume limits.
+
+A subscriber specifies two complementary volume-limiting thresholds
+(paper §2.2):
+
+* **Max** — deliver at most this many highest-ranked notifications at a
+  time (quantitative limit).
+* **Threshold** — only notifications with rank at or above this
+  threshold are acceptable (qualitative limit).
+
+The subscription also records the delivery mode (on-line vs on-demand)
+the device selected for the topic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.types import NodeId, TopicId, TopicType
+
+_subscription_ids = itertools.count(1)
+
+#: Max value meaning "no quantitative limit" — the user will read
+#: everything available (used by the paper's Figure 4, Max = ∞).
+UNLIMITED: int = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One subscriber's interest in one topic."""
+
+    subscriber: NodeId
+    topic: TopicId
+    max_per_read: int = 8
+    threshold: float = 0.0
+    mode: TopicType = TopicType.ON_DEMAND
+    #: Context parameters the subscription was instantiated with
+    #: (e.g. {"city": "tromso"} for a parameterized traffic topic).
+    params: Dict[str, str] = field(default_factory=dict)
+    subscription_id: int = field(default_factory=lambda: next(_subscription_ids))
+
+    def validate(self) -> None:
+        if self.max_per_read < 1:
+            raise ConfigurationError(
+                f"Max must be at least 1, got {self.max_per_read}"
+            )
+        if self.threshold < 0:
+            raise ConfigurationError(f"Threshold must be non-negative, got {self.threshold}")
+
+    def accepts(self, rank: float) -> bool:
+        """Whether a notification with ``rank`` passes the Threshold."""
+        return rank >= self.threshold
+
+    def with_params(self, **params: str) -> "Subscription":
+        """Return a re-parameterized copy (context update, paper §2.3)."""
+        return replace(self, params={**self.params, **params},
+                       subscription_id=next(_subscription_ids))
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs."""
+        limit = "∞" if self.max_per_read >= UNLIMITED else str(self.max_per_read)
+        return (
+            f"{self.subscriber} ⇐ {self.topic} "
+            f"(Max={limit}, Threshold={self.threshold}, {self.mode.value})"
+        )

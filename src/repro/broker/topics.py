@@ -1,0 +1,102 @@
+"""Topic registry: advertising and withdrawing topics.
+
+In a topic-based system, "subscriptions identify a topic from a specific
+publisher (e.g. weather updates from a news outlet)" (paper §2). A topic
+id therefore encodes both the publisher and the subject; parameterized
+topics (paper §2.3, e.g. traffic updates for a particular city) are
+expressed with a ``{param}`` placeholder filled in at subscribe time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.errors import SubscriptionError, UnknownTopicError
+from repro.types import NodeId, TopicId
+
+
+def parameterize(template: str, **params: str) -> TopicId:
+    """Instantiate a parameterized topic id.
+
+    >>> parameterize("news/traffic/{city}", city="tromso")
+    'news/traffic/tromso'
+    """
+    try:
+        return TopicId(template.format(**params))
+    except (KeyError, IndexError) as exc:
+        raise SubscriptionError(f"missing parameter for topic template {template!r}") from exc
+
+
+@dataclass(frozen=True)
+class TopicDescriptor:
+    """Metadata for one advertised topic."""
+
+    topic: TopicId
+    publisher: NodeId
+    description: str = ""
+    #: Whether the publisher commits to annotating notifications with
+    #: ranks (advisory; publishers "cannot be forced to use them").
+    ranked: bool = True
+
+
+class TopicRegistry:
+    """Registry of advertised topics.
+
+    The registry is logically global (replicated across brokers); this
+    in-process substrate keeps a single authoritative copy.
+    """
+
+    def __init__(self) -> None:
+        self._topics: Dict[TopicId, TopicDescriptor] = {}
+        self._by_publisher: Dict[NodeId, Dict[TopicId, TopicDescriptor]] = {}
+
+    def advertise(self, descriptor: TopicDescriptor) -> None:
+        """Register a topic. Re-advertising by the same publisher updates
+        the descriptor; another publisher claiming the topic is an error.
+        """
+        existing = self._topics.get(descriptor.topic)
+        if existing is not None and existing.publisher != descriptor.publisher:
+            raise SubscriptionError(
+                f"topic {descriptor.topic!r} is already advertised by "
+                f"{existing.publisher!r}"
+            )
+        self._topics[descriptor.topic] = descriptor
+        self._by_publisher.setdefault(descriptor.publisher, {})[descriptor.topic] = descriptor
+
+    def withdraw(self, topic: TopicId, publisher: NodeId) -> None:
+        """Remove a topic advertisement."""
+        existing = self._topics.get(topic)
+        if existing is None:
+            raise UnknownTopicError(f"cannot withdraw unknown topic {topic!r}")
+        if existing.publisher != publisher:
+            raise SubscriptionError(
+                f"{publisher!r} cannot withdraw topic {topic!r} owned by "
+                f"{existing.publisher!r}"
+            )
+        del self._topics[topic]
+        del self._by_publisher[publisher][topic]
+
+    def lookup(self, topic: TopicId) -> TopicDescriptor:
+        """Return the descriptor for ``topic`` or raise UnknownTopicError."""
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise UnknownTopicError(f"topic {topic!r} has not been advertised") from None
+
+    def get(self, topic: TopicId) -> Optional[TopicDescriptor]:
+        """Return the descriptor for ``topic`` or None."""
+        return self._topics.get(topic)
+
+    def exists(self, topic: TopicId) -> bool:
+        return topic in self._topics
+
+    def by_publisher(self, publisher: NodeId) -> Iterator[TopicDescriptor]:
+        """Yield all topics advertised by one publisher."""
+        yield from self._by_publisher.get(publisher, {}).values()
+
+    def __len__(self) -> int:
+        return len(self._topics)
+
+    def __iter__(self) -> Iterator[TopicDescriptor]:
+        return iter(self._topics.values())

@@ -1,0 +1,26 @@
+"""Context-aware subscription management (paper §2.3).
+
+"Upon a context update from a GPS-enabled mobile device, the proxy
+detects a change in context and re-subscribes the user to the traffic
+updates topic with the new location as a parameter. Despite a
+potentially unlimited variety of such services, in our pub/sub system
+their functionality can be mapped into a simple context update handler,
+which performs standard subscribe() and unsubscribe() operations."
+
+* :mod:`~repro.context.gps` — a coarse location model: named regions
+  (cities) and a movement track generator.
+* :mod:`~repro.context.handler` — the context-update handler that maps
+  location changes onto re-subscriptions of parameterized topics.
+"""
+
+from repro.context.gps import Location, MovementTrack, TrackConfig, generate_track
+from repro.context.handler import ContextUpdateHandler, ParameterizedInterest
+
+__all__ = [
+    "ContextUpdateHandler",
+    "Location",
+    "MovementTrack",
+    "ParameterizedInterest",
+    "TrackConfig",
+    "generate_track",
+]

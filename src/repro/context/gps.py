@@ -1,0 +1,119 @@
+"""A coarse GPS/location model.
+
+The granularity that matters to the pub/sub layer is the *region* a
+device is in (e.g. the city whose traffic updates are relevant), so the
+model maps raw coordinates onto named regions and generates movement
+tracks as timed region visits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+from repro.units import DAY
+
+
+@dataclass(frozen=True)
+class Location:
+    """A named circular region around a coordinate."""
+
+    name: str
+    latitude: float
+    longitude: float
+    radius_km: float = 25.0
+
+    def distance_km(self, latitude: float, longitude: float) -> float:
+        """Great-circle distance from the region centre, in km."""
+        lat1, lon1 = math.radians(self.latitude), math.radians(self.longitude)
+        lat2, lon2 = math.radians(latitude), math.radians(longitude)
+        h = (
+            math.sin((lat2 - lat1) / 2) ** 2
+            + math.cos(lat1) * math.cos(lat2) * math.sin((lon2 - lon1) / 2) ** 2
+        )
+        return 2 * 6371.0 * math.asin(math.sqrt(min(1.0, h)))
+
+    def contains(self, latitude: float, longitude: float) -> bool:
+        return self.distance_km(latitude, longitude) <= self.radius_km
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One stay in a region."""
+
+    time: float
+    location: Location
+
+
+@dataclass(frozen=True)
+class MovementTrack:
+    """A timed sequence of region visits for one device."""
+
+    visits: Tuple[Visit, ...]
+
+    def location_at(self, time: float) -> Optional[Location]:
+        """The region the device is in at ``time`` (None before the
+        first visit)."""
+        current: Optional[Location] = None
+        for visit in self.visits:
+            if visit.time > time:
+                break
+            current = visit.location
+        return current
+
+    def transitions(self) -> List[Visit]:
+        """Visits that actually change the region (consecutive dedup)."""
+        result: List[Visit] = []
+        for visit in self.visits:
+            if not result or result[-1].location.name != visit.location.name:
+                result.append(visit)
+        return result
+
+
+@dataclass(frozen=True)
+class TrackConfig:
+    """Random-walk track generator configuration.
+
+    The device starts in ``home`` and takes trips to other regions; mean
+    time between moves is ``mean_stay`` seconds, and after each trip it
+    returns home with probability ``homing``.
+    """
+
+    home: Location
+    destinations: Tuple[Location, ...]
+    mean_stay: float = 3 * DAY
+    homing: float = 0.6
+
+    def validate(self) -> None:
+        if not self.destinations:
+            raise ConfigurationError("track needs at least one destination")
+        if self.mean_stay <= 0:
+            raise ConfigurationError(f"mean_stay must be positive, got {self.mean_stay}")
+        if not 0.0 <= self.homing <= 1.0:
+            raise ConfigurationError(f"homing must be within [0, 1], got {self.homing}")
+
+
+def generate_track(
+    config: TrackConfig, duration: float, rng: RandomSource
+) -> MovementTrack:
+    """Generate a movement track over ``duration`` seconds."""
+    config.validate()
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    stay_rng = rng.spawn("track-stays")
+    move_rng = rng.spawn("track-moves")
+    visits: List[Visit] = [Visit(time=0.0, location=config.home)]
+    t = stay_rng.exponential(config.mean_stay)
+    while t < duration:
+        here = visits[-1].location
+        if here.name != config.home.name and move_rng.bernoulli(config.homing):
+            nxt = config.home
+        else:
+            choices = [d for d in config.destinations if d.name != here.name]
+            nxt = move_rng.choice(choices) if choices else config.home
+        visits.append(Visit(time=t, location=nxt))
+        t += stay_rng.exponential(config.mean_stay)
+    return MovementTrack(visits=tuple(visits))

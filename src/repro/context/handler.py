@@ -1,0 +1,96 @@
+"""The context-update handler.
+
+Maps a device's context (location) changes onto plain subscribe() /
+unsubscribe() calls for parameterized topics — the paper's example being
+"traffic updates for whatever city the user happens to be in".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.broker.broker import DeliveryCallback
+from repro.broker.client_api import Subscriber
+from repro.broker.subscriptions import Subscription
+from repro.context.gps import Location
+from repro.errors import SubscriptionError
+from repro.types import TopicType
+
+
+@dataclass
+class ParameterizedInterest:
+    """One location-parameterized interest of a user.
+
+    ``template`` must contain a ``{param}`` placeholder that the handler
+    fills with the current region name, e.g. ``news/traffic/{city}``.
+    """
+
+    template: str
+    param: str = "city"
+    callback: Optional[DeliveryCallback] = None
+    max_per_read: int = 8
+    threshold: float = 0.0
+    mode: TopicType = TopicType.ON_DEMAND
+    subscription: Optional[Subscription] = field(default=None, compare=False)
+
+
+class ContextUpdateHandler:
+    """Re-subscribes parameterized interests when the context changes.
+
+    Example::
+
+        handler = ContextUpdateHandler(subscriber)
+        handler.register(ParameterizedInterest("news/traffic/{city}",
+                                               callback=proxy_cb))
+        handler.on_context_update(tromso)   # subscribes news/traffic/tromso
+        handler.on_context_update(oslo)     # re-subscribes news/traffic/oslo
+    """
+
+    def __init__(self, subscriber: Subscriber) -> None:
+        self._subscriber = subscriber
+        self._interests: List[ParameterizedInterest] = []
+        self._current: Optional[Location] = None
+        self.updates_handled = 0
+        self.resubscriptions = 0
+
+    @property
+    def current_location(self) -> Optional[Location]:
+        return self._current
+
+    @property
+    def interests(self) -> List[ParameterizedInterest]:
+        return list(self._interests)
+
+    def register(self, interest: ParameterizedInterest) -> None:
+        """Add a parameterized interest. If a context is already known,
+        the interest is subscribed immediately."""
+        if interest.callback is None:
+            raise SubscriptionError("interest needs a delivery callback")
+        self._interests.append(interest)
+        if self._current is not None:
+            self._subscribe(interest, self._current)
+
+    def on_context_update(self, location: Location) -> None:
+        """Handle a context update from the device (e.g. a GPS fix that
+        resolved to a new region)."""
+        self.updates_handled += 1
+        if self._current is not None and self._current.name == location.name:
+            return  # same region; nothing to re-subscribe
+        self._current = location
+        for interest in self._interests:
+            if interest.subscription is not None:
+                self._subscriber.unsubscribe(interest.subscription)
+                interest.subscription = None
+            self._subscribe(interest, location)
+            self.resubscriptions += 1
+
+    def _subscribe(self, interest: ParameterizedInterest, location: Location) -> None:
+        interest.subscription = self._subscriber.subscribe(
+            interest.template,
+            interest.callback,
+            max_per_read=interest.max_per_read,
+            threshold=interest.threshold,
+            mode=interest.mode,
+            **{interest.param: location.name},
+        )

@@ -1,0 +1,67 @@
+"""Battery budget model.
+
+"Even when network access is free or unrated, limited battery power adds
+a cost to every network transfer and every computation on the mobile
+device by effectuating a limit on network messages beyond which the
+device is inoperable" (paper §2.3).
+
+The model is deliberately coarse: an abstract energy budget debited per
+message received, per byte transferred, and per message processed at
+read time. What matters for the evaluation is the *limit on network
+messages* it effectuates, not joule-accurate numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BatteryExhaustedError, ConfigurationError
+
+
+@dataclass
+class Battery:
+    """An abstract energy budget.
+
+    ``capacity`` of 0 or less means unlimited (the default model used by
+    the paper's simulations, which track waste rather than energy).
+    """
+
+    capacity: float = 0.0
+    receive_cost: float = 1.0
+    per_byte_cost: float = 0.0
+    read_cost: float = 0.1
+    spent: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("receive_cost", "per_byte_cost", "read_cost"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    @property
+    def limited(self) -> bool:
+        return self.capacity > 0
+
+    @property
+    def remaining(self) -> float:
+        if not self.limited:
+            return float("inf")
+        return max(0.0, self.capacity - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limited and self.spent >= self.capacity
+
+    def _drain(self, amount: float) -> None:
+        if self.exhausted:
+            raise BatteryExhaustedError(
+                f"battery exhausted after {self.spent:.1f}/{self.capacity:.1f} units"
+            )
+        self.spent += amount
+
+    def drain_receive(self, size_bytes: int) -> None:
+        """Debit the cost of receiving one message over the last hop."""
+        self._drain(self.receive_cost + self.per_byte_cost * size_bytes)
+
+    def drain_read(self, message_count: int) -> None:
+        """Debit the cost of displaying/processing read messages."""
+        self._drain(self.read_cost * message_count)

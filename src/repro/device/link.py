@@ -1,0 +1,117 @@
+"""The last-hop link between the proxy and the mobile device.
+
+The link is the scarce resource the whole paper is about: it goes up and
+down according to the outage schedule, carries proxy-to-device
+deliveries and retractions, and meters every transfer. "We view periods
+of unacceptably slow network performance as outages" — so the model has
+only two states, UP and DOWN.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.broker.message import Notification
+from repro.errors import ConfigurationError, ProxyError
+from repro.metrics.accounting import RunStats
+from repro.sim.engine import Simulator
+from repro.types import DeliveryMode, EventId, NetworkStatus
+
+#: Size of a rank-drop retraction control message (an id plus headers).
+RETRACTION_SIZE_BYTES: int = 32
+
+StatusListener = Callable[[NetworkStatus], None]
+
+
+class LastHopLink:
+    """A metered, outage-prone downlink implementing the proxy's
+    :class:`~repro.proxy.proxy.Transport` protocol."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stats: Optional[RunStats] = None,
+        latency: float = 0.0,
+    ) -> None:
+        if latency < 0:
+            raise ConfigurationError(f"latency must be non-negative, got {latency}")
+        self._sim = sim
+        self._stats = stats if stats is not None else RunStats()
+        self._latency = latency
+        self._status = NetworkStatus.UP
+        self._device = None
+        self._listeners: List[StatusListener] = []
+        self.deliveries = 0
+        self.retractions = 0
+        self.bytes_carried = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_device(self, device) -> None:
+        """Connect the mobile device this link serves."""
+        self._device = device
+
+    def add_status_listener(self, listener: StatusListener) -> None:
+        """Register a callback fired on every status transition (the
+        proxy's ``NETWORK(status)`` handler, typically)."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> NetworkStatus:
+        return self._status
+
+    @property
+    def up(self) -> bool:
+        return self._status is NetworkStatus.UP
+
+    def set_status(self, status: NetworkStatus) -> None:
+        """Transition the link; listeners fire only on actual change."""
+        if status is self._status:
+            return
+        self._status = status
+        for listener in self._listeners:
+            listener(status)
+
+    # ------------------------------------------------------------------
+    # Transport protocol (proxy -> device)
+    # ------------------------------------------------------------------
+    def deliver(self, notification: Notification, mode: DeliveryMode) -> None:
+        """Carry one notification to the device.
+
+        Raises :class:`ProxyError` if called while down — the proxy's
+        ``try_forwarding`` must gate on the link status, and a violation
+        is a bug worth failing loudly on.
+        """
+        self._require_up("deliver")
+        self.deliveries += 1
+        self.bytes_carried += notification.size_bytes
+        if self._latency > 0:
+            self._sim.schedule(self._latency, self._device.receive, notification, mode)
+        else:
+            self._device.receive(notification, mode)
+
+    def retract(self, event_id: EventId) -> None:
+        """Carry a rank-drop retraction to the device."""
+        self._require_up("retract")
+        self.retractions += 1
+        self.bytes_carried += RETRACTION_SIZE_BYTES
+        if self._latency > 0:
+            self._sim.schedule(self._latency, self._device.retract, event_id)
+        else:
+            self._device.retract(event_id)
+
+    def _require_up(self, action: str) -> None:
+        if self._device is None:
+            raise ProxyError(f"cannot {action}: no device attached to the link")
+        if not self.up:
+            raise ProxyError(f"cannot {action}: the last-hop link is down")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LastHopLink({self._status.value}, {self.deliveries} deliveries, "
+            f"{self.bytes_carried} bytes)"
+        )

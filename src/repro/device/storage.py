@@ -1,0 +1,59 @@
+"""Device storage cap with low-rank eviction.
+
+"When storage capacity becomes scarce, the device may need to delete
+low-ranked unread messages to make room for new ones. This deletion
+means that the messages were forwarded needlessly, thus contributing to
+battery drain" (paper §2.3). Evicted messages therefore count as waste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.broker.message import Notification
+from repro.errors import ConfigurationError
+from repro.proxy.queues import RankedQueue
+
+
+@dataclass(frozen=True)
+class StoragePolicy:
+    """Maximum unread notifications the device retains per topic.
+
+    ``max_messages`` of 0 or less means unlimited.
+    """
+
+    max_messages: int = 0
+
+    def validate(self) -> None:
+        # Any integer is allowed; non-positive disables the cap.
+        if not isinstance(self.max_messages, int):
+            raise ConfigurationError("max_messages must be an integer")
+
+    @property
+    def limited(self) -> bool:
+        return self.max_messages > 0
+
+    def evict_for(self, queue: RankedQueue, incoming: Notification) -> List[Notification]:
+        """Return the evictions needed to fit ``incoming`` into ``queue``.
+
+        The lowest-ranked residents go first; if the incoming message
+        itself is the lowest-ranked, *it* is the eviction (the device
+        should not displace better messages for it). The returned list
+        may therefore contain ``incoming``.
+        """
+        if not self.limited:
+            return []
+        evictions: List[Notification] = []
+        overflow = (len(queue) + 1) - self.max_messages
+        if overflow <= 0:
+            return []
+        residents = sorted(queue, key=lambda m: m.rank)  # lowest first
+        candidate_pool: List[Notification] = residents + [incoming]
+        candidate_pool.sort(key=lambda m: m.rank)
+        for victim in candidate_pool:
+            if overflow == 0:
+                break
+            evictions.append(victim)
+            overflow -= 1
+        return evictions

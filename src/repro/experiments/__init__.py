@@ -1,0 +1,35 @@
+"""Experiment harness reproducing the paper's evaluation (Section 3).
+
+* :mod:`~repro.experiments.runner` — wires a frozen trace into a full
+  simulator (proxy + link + device) and executes paired runs: the
+  on-line baseline and the policy under test over identical events.
+* :mod:`~repro.experiments.sweep` — generic parameter sweeps with
+  optional seed replication.
+* :mod:`~repro.experiments.figures` — one module per paper figure plus
+  the ablations; each regenerates the corresponding data series.
+* :mod:`~repro.experiments.report` — plain-text tables/series output.
+* :mod:`~repro.experiments.cli` — ``repro-lasthop`` command-line entry.
+"""
+
+from repro.experiments.runner import (
+    PairedResult,
+    RunResult,
+    run_paired,
+    run_paired_config,
+    run_scenario,
+)
+from repro.experiments.sweep import SweepPoint, sweep_1d
+from repro.experiments.report import Table, render_series, render_table
+
+__all__ = [
+    "PairedResult",
+    "RunResult",
+    "SweepPoint",
+    "Table",
+    "render_series",
+    "render_table",
+    "run_paired",
+    "run_paired_config",
+    "run_scenario",
+    "sweep_1d",
+]

@@ -1,0 +1,133 @@
+"""ASCII line plots for terminal figure rendering.
+
+The paper's figures are log-x line plots; ``repro-lasthop fig3 --plot``
+renders the regenerated curves directly in the terminal. Deliberately
+dependency-free: a character grid, one marker letter per curve, linear
+or log-10 x axis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Marker characters assigned to curves in order.
+MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(steps - 1, max(0, int(round(position * (steps - 1)))))
+
+
+def plot(
+    xs: Sequence[float],
+    curves: Sequence[Tuple[str, Sequence[float]]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render curves over shared x values as an ASCII chart.
+
+    ``curves`` is a sequence of (label, ys) with each ys aligned to
+    ``xs``. ``log_x`` plots x on a log-10 axis (all xs must be > 0).
+    """
+    if not xs:
+        raise ConfigurationError("plot needs at least one x value")
+    if not curves:
+        raise ConfigurationError("plot needs at least one curve")
+    if len(curves) > len(MARKERS):
+        raise ConfigurationError(f"at most {len(MARKERS)} curves supported")
+    for label, ys in curves:
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"curve {label!r} has {len(ys)} points for {len(xs)} x values"
+            )
+    if log_x and any(x <= 0 for x in xs):
+        raise ConfigurationError("log_x requires strictly positive x values")
+
+    x_values = [math.log10(x) for x in xs] if log_x else list(xs)
+    x_low, x_high = min(x_values), max(x_values)
+    all_y = [y for _, ys in curves for y in ys]
+    if y_range is not None:
+        y_low, y_high = y_range
+        if y_high <= y_low:
+            raise ConfigurationError(f"bad y_range {y_range}")
+    else:
+        y_low, y_high = min(all_y), max(all_y)
+        if y_high == y_low:
+            y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, ys), marker in zip(curves, MARKERS):
+        for x_value, y in zip(x_values, ys):
+            column = _scale(x_value, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_high:g}"), len(f"{y_low:g}"), len(y_label))
+    lines.append(f"{y_label:>{label_width}}")
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = f"{y_high:>{label_width}g}"
+        elif index == height - 1:
+            prefix = f"{y_low:>{label_width}g}"
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * label_width + " +" + "-" * width + "+")
+    left = f"{xs[0]:g}"
+    right = f"{xs[-1]:g}"
+    gap = width - len(left) - len(right)
+    axis_note = f" (log)" if log_x else ""
+    lines.append(
+        " " * label_width + "  " + left + " " * max(1, gap) + right
+    )
+    lines.append(" " * label_width + f"  {x_label}{axis_note}")
+    legend = "   ".join(
+        f"{marker} {label}" for (label, _), marker in zip(curves, MARKERS)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def plot_table_columns(
+    table,
+    x_column: str,
+    curve_columns: Optional[Sequence[str]] = None,
+    log_x: bool = False,
+    height: int = 14,
+    width: int = 64,
+) -> str:
+    """Plot selected columns of a :class:`~repro.experiments.report.Table`.
+
+    ``x_column`` names the x-axis column; ``curve_columns`` defaults to
+    every other numeric column (capped at the marker budget).
+    """
+    xs = [float(v) for v in table.column(x_column)]
+    if curve_columns is None:
+        curve_columns = [h for h in table.headers if h != x_column][: len(MARKERS)]
+    curves = [
+        (name, [float(v) for v in table.column(name)]) for name in curve_columns
+    ]
+    return plot(
+        xs,
+        curves,
+        title=table.title,
+        x_label=x_column,
+        y_label="%",
+        log_x=log_x,
+        width=width,
+        height=height,
+    )

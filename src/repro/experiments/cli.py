@@ -1,0 +1,189 @@
+"""Command-line entry point: ``repro-lasthop``.
+
+Regenerates any of the paper's figures (or all of them) as plain-text
+tables, CSV, or JSON, and runs the reproduction scorecard. Full one-year
+runs take minutes per figure; ``--days`` trims the virtual duration for
+quick looks.
+
+Examples::
+
+    repro-lasthop list
+    repro-lasthop fig1
+    repro-lasthop fig3 --days 90 --seeds 0 1 2
+    repro-lasthop fig6 --format csv --output fig6.csv
+    repro-lasthop validate --days 120
+    repro-lasthop all --days 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments import validate as validate_module
+from repro.experiments.ascii_plot import MARKERS, plot_table_columns
+from repro.experiments.export import export_tables
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import Table
+from repro.units import DAY
+
+
+def _figure_config(module, days: Optional[float], seeds: Optional[List[int]]):
+    """Build the module's config dataclass with CLI overrides applied."""
+    config_types = [
+        value
+        for name, value in vars(module).items()
+        if isinstance(value, type)
+        and dataclasses.is_dataclass(value)
+        and name.endswith("Config")
+        and value.__module__ == module.__name__
+    ]
+    if len(config_types) != 1:
+        raise RuntimeError(f"figure module {module.__name__} must define one Config")
+    overrides = {}
+    if days is not None:
+        overrides["duration"] = days * DAY
+    if seeds is not None:
+        overrides["seeds"] = tuple(seeds)
+    return config_types[0](**overrides)
+
+
+def _try_plot(table: Table) -> Optional[str]:
+    """Best-effort ASCII chart of a figure table (None if not plottable)."""
+    try:
+        xs = [float(v) for v in table.column(table.headers[0])]
+    except (ValueError, TypeError):
+        return None
+    if len(xs) < 2 or len(set(xs)) < 2:
+        return None
+    numeric_columns = table.headers[1 : 1 + len(MARKERS)]
+    log_x = min(xs) > 0 and max(xs) / min(xs) >= 100
+    try:
+        return plot_table_columns(
+            table, table.headers[0], curve_columns=numeric_columns, log_x=log_x
+        )
+    except (ValueError, TypeError):
+        return None
+
+
+def run_figure(
+    name: str,
+    days: Optional[float] = None,
+    seeds: Optional[List[int]] = None,
+    quiet: bool = False,
+    fmt: str = "text",
+    with_plots: bool = False,
+) -> str:
+    """Run one figure by name; returns the rendered tables."""
+    module = ALL_FIGURES[name]
+    config = _figure_config(module, days, seeds)
+    progress = None if quiet else lambda line: print(f"  {line}", file=sys.stderr)
+    started = time.time()
+    result = module.run(config, progress=progress)
+    tables = [result] if isinstance(result, Table) else list(result)
+    rendered = export_tables(tables, fmt)
+    if with_plots and fmt == "text":
+        charts = [chart for chart in map(_try_plot, tables) if chart is not None]
+        if charts:
+            rendered = rendered + "\n\n" + "\n\n".join(charts)
+    if not quiet:
+        print(f"  [{name} done in {time.time() - started:.1f} s]", file=sys.stderr)
+    return rendered
+
+
+def run_validation(days: Optional[float], quiet: bool) -> str:
+    """Run the reproduction scorecard."""
+    config = validate_module.ValidateConfig()
+    if days is not None:
+        config = dataclasses.replace(config, duration=days * DAY)
+    progress = None if quiet else lambda line: print(f"  {line}", file=sys.stderr)
+    return validate_module.render(validate_module.run(config, progress=progress))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lasthop",
+        description=(
+            "Regenerate the evaluation figures of 'The Last Hop of Global "
+            "Notification Delivery to Mobile Users' (ICDCS 2005)."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(ALL_FIGURES) + ["all", "list", "validate"],
+        help=(
+            "figure id to regenerate, 'all', 'validate' for the claim "
+            "scorecard, or 'list' to enumerate"
+        ),
+    )
+    parser.add_argument(
+        "--days",
+        type=float,
+        default=None,
+        help="virtual run length in days (default: the paper's one year)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="random seeds to average over (default: 0)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "csv", "json"],
+        default="text",
+        help="output format for figure tables",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write output to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines on stderr"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="append ASCII charts of the tables (text format only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for name, module in sorted(ALL_FIGURES.items()):
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:22s} {doc}")
+        print(f"{'validate':22s} Reproduction scorecard: headline claims pass/fail.")
+        return 0
+
+    if args.figure == "validate":
+        output = run_validation(args.days, args.quiet)
+        failures = output.count("[FAIL]")
+        _emit(output, args.output)
+        return 1 if failures else 0
+
+    names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    chunks = [
+        run_figure(name, days=args.days, seeds=args.seeds, quiet=args.quiet,
+                   fmt=args.format, with_plots=args.plot)
+        for name in names
+    ]
+    _emit("\n\n".join(chunks), args.output)
+    return 0
+
+
+def _emit(text: str, output: Optional[Path]) -> None:
+    if output is None:
+        print(text)
+    else:
+        output.write_text(text + "\n", encoding="utf-8")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

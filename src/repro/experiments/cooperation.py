@@ -1,0 +1,163 @@
+"""Runner for multi-device cooperative scenarios (§4 future work).
+
+One user owns a *reader* device (the phone, whose wide-area link follows
+the trace's outage schedule) plus ``n_peers`` peer devices (laptop,
+tablet), each with its own independently generated outage schedule and
+its own last-hop proxy running the same forwarding policy. Reads happen
+on the reader and, when the ad-hoc network is available, draw on every
+cache in the group.
+
+Waste and loss are computed at the *group* level: a notification
+forwarded to any device and read on any device is not wasted. The loss
+baseline is the usual single-device on-line run over the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.broker.message import Notification
+from repro.device.cooperation import AdHocNetwork, DeviceGroup
+from repro.device.device import ClientDevice
+from repro.device.link import LastHopLink
+from repro.experiments.runner import DEFAULT_TOPIC, RunResult, run_scenario
+from repro.metrics.accounting import RunStats
+from repro.metrics.waste_loss import PairedMetrics, pair_metrics
+from repro.proxy.policies import PolicyConfig
+from repro.proxy.proxy import LastHopProxy, ProxyConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+from repro.sim.trace import Trace
+from repro.types import EventId, TopicId
+from repro.workload.outages import OutageConfig, generate_outages
+
+
+@dataclass(frozen=True)
+class CooperationConfig:
+    """Group topology and ad-hoc reachability."""
+
+    n_peers: int = 1
+    #: Downtime fraction of each peer's own wide-area link.
+    peer_outage_fraction: float = 0.5
+    peer_outages_per_day: float = 4.0
+    peer_outage_sigma: float = 0.5
+    #: Probability the ad-hoc hop works at the moment of a read.
+    adhoc_availability: float = 1.0
+    #: Forwarding policy of the peers' own proxies. Peers are typically
+    #: less constrained than the reader (a docked laptop on mains
+    #: power), so they default to a much larger prefetch buffer; None
+    #: makes peers run the reader's policy.
+    peer_policy: Optional[PolicyConfig] = None
+
+    def effective_peer_policy(self, reader_policy: PolicyConfig) -> PolicyConfig:
+        if self.peer_policy is not None:
+            return self.peer_policy
+        return PolicyConfig.buffer(prefetch_limit=1024)
+
+
+@dataclass(frozen=True)
+class CooperativeRunResult:
+    """Outcome of one cooperative group run."""
+
+    stats: RunStats
+    borrowed: int
+    events_processed: int
+
+
+def run_cooperative_scenario(
+    trace: Trace,
+    policy: PolicyConfig,
+    cooperation: CooperationConfig = CooperationConfig(),
+    threshold: float = 0.0,
+    topic: TopicId = DEFAULT_TOPIC,
+) -> CooperativeRunResult:
+    """Replay ``trace`` onto a cooperating device group."""
+    policy.validate()
+    sim = Simulator()
+    stats = RunStats()
+    seed = int(trace.metadata.get("seed", 0))
+    rng = RandomSource(seed).spawn("cooperation")
+    group = DeviceGroup(
+        sim, stats, AdHocNetwork(cooperation.adhoc_availability, rng.spawn("adhoc"))
+    )
+
+    peer_policy = cooperation.effective_peer_policy(policy)
+    links: List[LastHopLink] = []
+    proxies: List[LastHopProxy] = []
+    for index in range(1 + cooperation.n_peers):
+        device_policy = policy if index == 0 else peer_policy
+        link = LastHopLink(sim, stats)
+        device = ClientDevice(sim, link, stats)
+        device.add_topic(topic, threshold)
+        proxy = LastHopProxy(sim, link, ProxyConfig(policy=device_policy), stats)
+        proxy.add_topic(topic, rank_threshold=threshold)
+        device.attach_proxy(proxy)
+        link.add_status_listener(proxy.on_network)
+        group.add_device(device)
+        links.append(link)
+        proxies.append(proxy)
+
+    # Every proxy receives every publication (same subscription), each
+    # through its own Notification instances (ranks mutate in place).
+    for arrival in trace.arrivals:
+        for proxy in proxies:
+            notification = Notification(
+                event_id=arrival.event_id,
+                topic=topic,
+                rank=arrival.rank,
+                published_at=arrival.time,
+                expires_at=arrival.expires_at,
+            )
+            sim.schedule_at(arrival.time, proxy.on_notification, notification)
+
+    # Reads happen on the reader, cooperatively.
+    for read in trace.reads:
+        sim.schedule_at(read.time, group.perform_read, topic, read.count)
+
+    # The reader's link follows the trace; peers get their own schedules.
+    for time, status in trace.network_transitions():
+        sim.schedule_at(time, links[0].set_status, status)
+    for index in range(1, 1 + cooperation.n_peers):
+        peer_outages = generate_outages(
+            OutageConfig(
+                downtime_fraction=cooperation.peer_outage_fraction,
+                outages_per_day=cooperation.peer_outages_per_day,
+                duration_sigma=cooperation.peer_outage_sigma,
+            ),
+            trace.duration,
+            rng.spawn(f"peer-{index}-outages"),
+        )
+        peer_trace = Trace(duration=trace.duration, outages=tuple(peer_outages))
+        for time, status in peer_trace.network_transitions():
+            sim.schedule_at(time, links[index].set_status, status)
+
+    sim.run(until=trace.duration)
+    return CooperativeRunResult(
+        stats=stats, borrowed=group.borrowed_total, events_processed=sim.events_processed
+    )
+
+
+def run_cooperative_paired(
+    trace: Trace,
+    policy: PolicyConfig,
+    cooperation: CooperationConfig = CooperationConfig(),
+    threshold: float = 0.0,
+) -> "CooperativePairedResult":
+    """Cooperative run plus the standard single-device on-line baseline."""
+    baseline = run_scenario(trace, PolicyConfig.online(), threshold=threshold)
+    cooperative = run_cooperative_scenario(
+        trace, policy, cooperation=cooperation, threshold=threshold
+    )
+    return CooperativePairedResult(
+        baseline=baseline,
+        cooperative=cooperative,
+        metrics=pair_metrics(baseline.stats, cooperative.stats),
+    )
+
+
+@dataclass(frozen=True)
+class CooperativePairedResult:
+    baseline: RunResult
+    cooperative: CooperativeRunResult
+    metrics: PairedMetrics

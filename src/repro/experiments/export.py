@@ -1,0 +1,85 @@
+"""Export experiment tables to machine-readable formats.
+
+The text tables are for terminals; CSV and JSON exports let downstream
+tooling (plotting scripts, regression dashboards) consume regenerated
+figures directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.experiments.report import Table
+
+
+def table_to_csv(table: Table) -> str:
+    """Render one table as CSV (title and notes become # comments)."""
+    buffer = io.StringIO()
+    buffer.write(f"# {table.title}\n")
+    for note in table.notes:
+        buffer.write(f"# {note}\n")
+    writer = csv.writer(buffer)
+    writer.writerow(table.headers)
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def table_to_dict(table: Table) -> dict:
+    """Represent one table as JSON-serializable primitives."""
+    return {
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
+def tables_to_json(tables: Sequence[Table]) -> str:
+    """Render one or more tables as a JSON document."""
+    return json.dumps([table_to_dict(t) for t in tables], indent=2)
+
+
+def export_tables(
+    tables: Union[Table, Sequence[Table]],
+    fmt: str = "text",
+) -> str:
+    """Render tables in the requested format: text, csv, or json."""
+    if isinstance(tables, Table):
+        tables = [tables]
+    tables = list(tables)
+    if fmt == "text":
+        return "\n\n".join(t.render() for t in tables)
+    if fmt == "csv":
+        return "\n".join(table_to_csv(t) for t in tables)
+    if fmt == "json":
+        return tables_to_json(tables)
+    raise ValueError(f"unknown export format {fmt!r} (use text, csv, or json)")
+
+
+def write_export(
+    tables: Union[Table, Sequence[Table]],
+    path: Union[str, Path],
+    fmt: str = "csv",
+) -> None:
+    """Export tables straight to a file."""
+    Path(path).write_text(export_tables(tables, fmt), encoding="utf-8")
+
+
+def load_json_tables(path: Union[str, Path]) -> List[Table]:
+    """Read tables back from a JSON export."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    tables = []
+    for entry in data:
+        table = Table(
+            title=entry["title"], headers=list(entry["headers"]),
+            notes=list(entry.get("notes", [])),
+        )
+        for row in entry["rows"]:
+            table.add_row(*row)
+        tables.append(table)
+    return tables

@@ -1,0 +1,115 @@
+"""Figure 5 — loss due to expirations under pure on-demand forwarding.
+
+"When expiration time is short relative to user frequency, loss is
+negligible because most notifications expire before the user gets to
+them […] As the expiration time increases, so does the percentage of
+loss, because notifications that expire during a network outage are
+potentially readable under on-line forwarding, but not under on-demand
+forwarding. […] as the expiration time increases, notifications stick
+around long enough to be picked up eventually with on-demand
+forwarding, so the loss percentage starts dropping back down. This is
+illustrated in Figure 5, where loss is shown for different expiration
+times on a network that is down 95 % of the time."
+
+Curves: one per user frequency in {1 … 64}; x axis: mean expiration
+time 16 s … 262144 s. Event frequency 32/day, Max = 8, outage 95 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.report import Table
+from repro.experiments.runner import run_paired
+from repro.proxy.policies import PolicyConfig
+from repro.units import YEAR
+from repro.workload.scenario import build_trace
+
+EXPIRATION_MEANS: Tuple[float, ...] = (
+    16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
+)
+USER_FREQUENCIES: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    duration: float = YEAR
+    event_frequency: float = EVENT_FREQUENCY
+    max_per_read: int = 8
+    outage_fraction: float = 0.95
+    expiration_means: Tuple[float, ...] = EXPIRATION_MEANS
+    user_frequencies: Tuple[float, ...] = USER_FREQUENCIES
+    seeds: Tuple[int, ...] = (0,)
+
+
+def measure_point(
+    config: Fig5Config, user_frequency: float, expiration_mean: float
+) -> float:
+    """Measured on-demand loss fraction at one point."""
+    losses: List[float] = []
+    for seed in config.seeds:
+        trace = build_trace(
+            scenario(
+                duration=config.duration,
+                event_frequency=config.event_frequency,
+                user_frequency=user_frequency,
+                max_per_read=config.max_per_read,
+                outage_fraction=config.outage_fraction,
+                expiration_mean=expiration_mean,
+            ),
+            seed=seed,
+        )
+        result = run_paired(trace, PolicyConfig.on_demand())
+        losses.append(result.metrics.loss)
+    return sum(losses) / len(losses)
+
+
+def run(
+    config: Fig5Config = Fig5Config(),
+    progress: Optional[Callable[[str], None]] = None,
+) -> Table:
+    """Regenerate Figure 5: loss % per (expiration mean, user frequency)."""
+    headers = ["expiration_s"] + [f"uf={uf:g}" for uf in config.user_frequencies]
+    table = Table(
+        title=(
+            "Figure 5: loss due to expirations, pure on-demand "
+            f"(event frequency = {config.event_frequency:g}/day, "
+            f"Max = {config.max_per_read}, "
+            f"network outage {percent(config.outage_fraction):.0f} % of the time)"
+        ),
+        headers=headers,
+        notes=["cells: loss % relative to the on-line baseline on the same trace"],
+    )
+    for expiration_mean in config.expiration_means:
+        row: List[object] = [expiration_mean]
+        for user_frequency in config.user_frequencies:
+            loss = measure_point(config, user_frequency, expiration_mean)
+            row.append(percent(loss))
+            if progress is not None:
+                progress(
+                    f"fig5 exp={expiration_mean:g}s uf={user_frequency:g}: "
+                    f"loss {percent(loss):.1f} %"
+                )
+        table.add_row(*row)
+    return table
+
+
+def curves(config: Fig5Config = Fig5Config()) -> Dict[float, List[float]]:
+    """The figure as {user frequency: [loss fraction per expiration]}."""
+    return {
+        user_frequency: [
+            measure_point(config, user_frequency, expiration_mean)
+            for expiration_mean in config.expiration_means
+        ]
+        for user_frequency in config.user_frequencies
+    }
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(run(progress=print).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

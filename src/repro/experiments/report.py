@@ -1,0 +1,88 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are line plots; in a terminal we report the same
+data as tables (one row per x value, one column per curve) and as
+gnuplot-style series blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table of stringifiable cells."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self.title, self.headers, self.rows, self.notes)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in notes:
+        lines.append(f"# {note}")
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[float],
+    curves: Sequence[tuple],
+) -> str:
+    """Render gnuplot-style data blocks: one block per curve.
+
+    ``curves`` is a sequence of (curve label, y values) pairs; each y
+    sequence must align with ``xs``.
+    """
+    lines = [f"# {title}"]
+    for label, ys in curves:
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"curve {label!r} has {len(ys)} points but {len(xs)} x values"
+            )
+        lines.append(f'\n# curve: {label}')
+        lines.append(f"# {x_label}\tvalue")
+        for x, y in zip(xs, ys):
+            lines.append(f"{x:g}\t{y:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Scenario execution.
+
+``run_scenario`` replays one frozen :class:`~repro.sim.trace.Trace` into
+a fully wired simulator — proxy, last-hop link, device — under a given
+forwarding policy. ``run_paired`` executes the paper's methodology: the
+same trace under the on-line baseline and under the policy, yielding the
+waste/loss pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.broker.message import Notification
+from repro.device.battery import Battery
+from repro.device.device import ClientDevice
+from repro.device.link import LastHopLink
+from repro.device.storage import StoragePolicy
+from repro.metrics.accounting import RunStats
+from repro.metrics.waste_loss import PairedMetrics, pair_metrics
+from repro.proxy.gc import GcConfig, ProxyGarbageCollector
+from repro.proxy.policies import PolicyConfig
+from repro.proxy.proxy import LastHopProxy, ProxyConfig
+from repro.proxy.replication import ReplicatedProxy
+from repro.proxy.schedule import DeliverySchedule
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+from repro.types import EventId, TopicId, TopicType
+from repro.workload.scenario import ScenarioConfig, build_trace
+
+#: Topic id used for single-topic trace replays.
+DEFAULT_TOPIC = TopicId("experiment/topic")
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """Run the scenario behind a replicated proxy pair.
+
+    ``fail_primary_at`` injects a primary crash at that simulation time
+    (None = the primary survives the whole run).
+    """
+
+    replication_delay: float = 0.050
+    fail_primary_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one scenario run."""
+
+    stats: RunStats
+    policy: PolicyConfig
+    events_processed: int
+    #: Proxy's final view of the topic, for diagnostics.
+    final_proxy_queued: int
+    final_device_queued: int
+
+
+@dataclass(frozen=True)
+class PairedResult:
+    """Outcome of a paired (on-line baseline, policy) execution."""
+
+    baseline: RunResult
+    policy: RunResult
+    metrics: PairedMetrics
+
+
+def run_scenario(
+    trace: Trace,
+    policy: PolicyConfig,
+    threshold: float = 0.0,
+    topic: TopicId = DEFAULT_TOPIC,
+    topic_type: TopicType = TopicType.ON_DEMAND,
+    battery: Optional[Battery] = None,
+    storage: StoragePolicy = StoragePolicy(),
+    link_latency: float = 0.0,
+    gc_interval: Optional[float] = None,
+    replication: Optional[ReplicationSpec] = None,
+    schedule: Optional[DeliverySchedule] = None,
+) -> RunResult:
+    """Replay ``trace`` under ``policy`` and return the run's statistics.
+
+    ``threshold`` is the subscription's qualitative limit, applied both
+    at the proxy (rank filtering) and at the device (read filtering).
+    ``gc_interval`` attaches the background garbage collector; None
+    leaves it off (the default keeps runs bit-for-bit comparable with
+    and without GC, since GC only reclaims memory). ``replication``
+    swaps the single proxy for a primary/backup pair, optionally
+    crashing the primary mid-run.
+    """
+    policy.validate()
+    sim = Simulator()
+    stats = RunStats()
+
+    # Batteries are mutable; copy so paired runs (and repeated calls)
+    # each drain their own budget rather than sharing one.
+    if battery is not None:
+        battery = dataclasses.replace(battery)
+
+    link = LastHopLink(sim, stats, latency=link_latency)
+    device = ClientDevice(sim, link, stats, battery=battery, storage=storage)
+    device.add_topic(topic, threshold)
+    if replication is None:
+        proxy = LastHopProxy(sim, link, ProxyConfig(policy=policy), stats)
+    else:
+        proxy = ReplicatedProxy(
+            sim,
+            link,
+            ProxyConfig(policy=policy),
+            stats,
+            replication_delay=replication.replication_delay,
+        )
+    proxy.add_topic(
+        topic, topic_type=topic_type, rank_threshold=threshold, schedule=schedule
+    )
+    device.attach_proxy(proxy)
+    link.add_status_listener(proxy.on_network)
+    if replication is not None and replication.fail_primary_at is not None:
+        sim.schedule_at(replication.fail_primary_at, proxy.fail_primary)
+    collector = None
+    if gc_interval is not None:
+        collector = ProxyGarbageCollector(sim, proxy, GcConfig(interval=gc_interval))
+
+    # Each run materializes fresh Notification objects: the proxy mutates
+    # ranks in place, and paired runs must not observe each other.
+    originals: Dict[EventId, Notification] = {}
+    for arrival in trace.arrivals:
+        notification = Notification(
+            event_id=arrival.event_id,
+            topic=topic,
+            rank=arrival.rank,
+            published_at=arrival.time,
+            expires_at=arrival.expires_at,
+        )
+        originals[arrival.event_id] = notification
+        sim.schedule_at(arrival.time, proxy.on_notification, notification)
+
+    for change in trace.rank_changes:
+        original = originals[change.event_id]
+        update = Notification(
+            event_id=original.event_id,
+            topic=topic,
+            rank=change.new_rank,
+            published_at=original.published_at,
+            expires_at=original.expires_at,
+        )
+        sim.schedule_at(change.time, proxy.on_notification, update)
+
+    for read in trace.reads:
+        sim.schedule_at(read.time, device.perform_read, topic, read.count)
+
+    for time, status in trace.network_transitions():
+        sim.schedule_at(time, link.set_status, status)
+
+    sim.run(until=trace.duration)
+    if collector is not None:
+        collector.stop()
+    if battery is not None:
+        stats.battery_spent = battery.spent
+
+    state = proxy.topic_state(topic)
+    return RunResult(
+        stats=stats,
+        policy=policy,
+        events_processed=sim.events_processed,
+        final_proxy_queued=state.queued_event_count(),
+        final_device_queued=device.queue_size(topic),
+    )
+
+
+def run_paired(
+    trace: Trace,
+    policy: PolicyConfig,
+    threshold: float = 0.0,
+    **kwargs,
+) -> PairedResult:
+    """Execute the paper's paired methodology on one trace.
+
+    The on-line scenario "serves as the baseline for computing loss and
+    as the cap for the maximum level of waste"; the policy scenario is
+    whatever is being evaluated.
+    """
+    baseline = run_scenario(trace, PolicyConfig.online(), threshold=threshold, **kwargs)
+    candidate = run_scenario(trace, policy, threshold=threshold, **kwargs)
+    return PairedResult(
+        baseline=baseline,
+        policy=candidate,
+        metrics=pair_metrics(baseline.stats, candidate.stats),
+    )
+
+
+def run_paired_config(
+    config: ScenarioConfig,
+    policy: PolicyConfig,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> PairedResult:
+    """Build the trace from a :class:`ScenarioConfig`, then run paired."""
+    trace = build_trace(config, seed=seed)
+    return run_paired(trace, policy, threshold=config.threshold, **kwargs)

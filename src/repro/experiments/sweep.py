@@ -1,0 +1,86 @@
+"""Generic parameter sweeps with seed replication.
+
+Every figure in the paper is a sweep of one scenario parameter against
+waste and/or loss, repeated for a family of curves. ``sweep_1d`` runs
+one curve: a list of x values, a function mapping x to a scenario
+config, a function mapping x to the policy, and optional replication
+across seeds with averaged metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.experiments.runner import run_paired_config
+from repro.metrics.summary import summarize
+from repro.proxy.policies import PolicyConfig
+from repro.workload.scenario import ScenarioConfig
+
+ConfigFactory = Callable[[float], ScenarioConfig]
+PolicyFactory = Callable[[float], PolicyConfig]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Averaged paired metrics at one x value."""
+
+    x: float
+    waste: float
+    loss: float
+    waste_std: float
+    loss_std: float
+    seeds: int
+    forwarded_mean: float
+    read_mean: float
+
+    @property
+    def waste_percent(self) -> float:
+        return 100.0 * self.waste
+
+    @property
+    def loss_percent(self) -> float:
+        return 100.0 * self.loss
+
+
+def sweep_1d(
+    xs: Sequence[float],
+    make_config: ConfigFactory,
+    make_policy: PolicyFactory,
+    seeds: Sequence[int] = (0,),
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[SweepPoint]:
+    """Run one sweep curve, averaging metrics over ``seeds``."""
+    points: List[SweepPoint] = []
+    for x in xs:
+        config = make_config(x)
+        policy = make_policy(x)
+        wastes: List[float] = []
+        losses: List[float] = []
+        forwarded: List[float] = []
+        read: List[float] = []
+        for seed in seeds:
+            result = run_paired_config(config, policy, seed=seed)
+            wastes.append(result.metrics.waste)
+            losses.append(result.metrics.loss)
+            forwarded.append(float(result.metrics.forwarded))
+            read.append(float(result.metrics.messages_read))
+        waste_summary = summarize(wastes)
+        loss_summary = summarize(losses)
+        point = SweepPoint(
+            x=float(x),
+            waste=waste_summary.mean,
+            loss=loss_summary.mean,
+            waste_std=waste_summary.std,
+            loss_std=loss_summary.std,
+            seeds=len(list(seeds)),
+            forwarded_mean=summarize(forwarded).mean,
+            read_mean=summarize(read).mean,
+        )
+        points.append(point)
+        if progress is not None:
+            progress(
+                f"x={x:g}: waste {point.waste_percent:.1f} %, "
+                f"loss {point.loss_percent:.1f} %"
+            )
+    return points

@@ -1,0 +1,38 @@
+"""Accounting and the paper's inefficiency metrics.
+
+The paper defines two inefficiency metrics on the last hop (§3.1):
+
+* **wasted messages** — "those that were sent to the device, but never
+  read by the user";
+* **lost messages** — "those that would have been read by the user under
+  an on-line forwarding policy (i.e. the best possible service), but
+  never reached the user under the policy in effect".
+
+:class:`~repro.metrics.accounting.RunStats` collects raw counters during
+a run; :mod:`~repro.metrics.waste_loss` turns paired runs into the
+waste/loss percentages plotted in the paper's figures;
+:mod:`~repro.metrics.analytic` provides the closed-form overflow-waste
+model (``1 − user_frequency·Max/event_frequency``) used for validation.
+"""
+
+from repro.metrics.accounting import RunStats
+from repro.metrics.analytic import (
+    expected_expiration_waste,
+    expected_overflow_waste,
+    expected_worst_case_waste,
+)
+from repro.metrics.summary import Summary, summarize
+from repro.metrics.waste_loss import PairedMetrics, compute_loss, compute_waste, pair_metrics
+
+__all__ = [
+    "PairedMetrics",
+    "RunStats",
+    "Summary",
+    "compute_loss",
+    "compute_waste",
+    "expected_expiration_waste",
+    "expected_overflow_waste",
+    "expected_worst_case_waste",
+    "pair_metrics",
+    "summarize",
+]

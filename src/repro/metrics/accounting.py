@@ -1,0 +1,130 @@
+"""Raw per-run counters.
+
+One :class:`RunStats` instance is threaded through the proxy, link, and
+device of a scenario run. It records message identities (needed for the
+paper's set-comparison loss metric) and volume/energy counters (needed
+for the waste metric and the device-constraint accounting of §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from repro.types import DeliveryMode, EventId, RunOutcome
+
+
+@dataclass
+class RunStats:
+    """Counters collected during one scenario run."""
+
+    # Arrival-side --------------------------------------------------------
+    #: Notifications that arrived at the proxy from the wired network.
+    arrivals: int = 0
+    #: Arrivals accepted (rank at or above the subscription threshold).
+    accepted: int = 0
+    #: Arrivals filtered out at the proxy by the rank threshold.
+    filtered: int = 0
+    #: Rank-change announcements processed.
+    rank_changes: int = 0
+
+    # Last-hop traffic -----------------------------------------------------
+    #: Identities of every notification forwarded proxy -> device.
+    forwarded_ids: Set[EventId] = field(default_factory=set)
+    #: Forwards initiated proactively (on-line forwarding or prefetch).
+    pushed: int = 0
+    #: Forwards shipped in response to a READ exchange.
+    pulled: int = 0
+    #: Rank-drop retraction control messages sent to the device.
+    retractions_sent: int = 0
+    #: Total last-hop payload bytes, device-bound.
+    bytes_sent: int = 0
+    #: READ request messages that reached the proxy.
+    read_requests: int = 0
+
+    # User-side ------------------------------------------------------------
+    #: Identities of every notification the user actually read.
+    read_ids: Set[EventId] = field(default_factory=set)
+    #: User read attempts (including ones that found nothing).
+    reads: int = 0
+    #: Reads that found no acceptable message on the device.
+    empty_reads: int = 0
+    #: Reads attempted while the last-hop link was down.
+    reads_during_outage: int = 0
+    #: Sum over read messages of (read time - publication time); divide
+    #: by len(read_ids) for the mean notification age at reading.
+    read_delay_sum: float = 0.0
+
+    # Inefficiency sources ---------------------------------------------------
+    #: Forwarded notifications that expired on the device before reading.
+    expired_on_device: int = 0
+    #: Notifications that expired while still queued at the proxy.
+    expired_at_proxy: int = 0
+    #: Notifications evicted from the device by the storage cap.
+    displaced: int = 0
+    #: Forwarded notifications removed from the device by a retraction.
+    retracted_on_device: int = 0
+    #: Notifications discarded at the proxy by rank drops before forwarding.
+    dropped_before_forward: int = 0
+
+    # Device constraints -------------------------------------------------
+    #: Battery units drained (0 when no battery model is attached).
+    battery_spent: float = 0.0
+    outcome: RunOutcome = RunOutcome.COMPLETED
+
+    # ------------------------------------------------------------------
+    # Recording helpers (called by proxy / link / device)
+    # ------------------------------------------------------------------
+    def record_forward(self, event_id: EventId, size_bytes: int, mode: DeliveryMode) -> None:
+        self.forwarded_ids.add(event_id)
+        self.bytes_sent += size_bytes
+        if mode is DeliveryMode.PUSHED:
+            self.pushed += 1
+        else:
+            self.pulled += 1
+
+    def record_read(self, event_id: EventId, age: float) -> None:
+        self.read_ids.add(event_id)
+        self.read_delay_sum += age
+
+    # ------------------------------------------------------------------
+    # Derived values
+    # ------------------------------------------------------------------
+    @property
+    def forwarded(self) -> int:
+        """Distinct notifications forwarded over the last hop."""
+        return len(self.forwarded_ids)
+
+    @property
+    def messages_read(self) -> int:
+        """Distinct notifications read by the user."""
+        return len(self.read_ids)
+
+    @property
+    def wasted(self) -> int:
+        """Forwarded notifications the user never read."""
+        return len(self.forwarded_ids - self.read_ids)
+
+    @property
+    def mean_read_age(self) -> float:
+        """Mean age (seconds since publication) of read notifications."""
+        if not self.read_ids:
+            return 0.0
+        return self.read_delay_sum / len(self.read_ids)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"arrivals            {self.arrivals}",
+            f"accepted            {self.accepted}",
+            f"forwarded           {self.forwarded} "
+            f"(pushed {self.pushed}, pulled {self.pulled})",
+            f"read                {self.messages_read} over {self.reads} reads "
+            f"({self.empty_reads} empty, {self.reads_during_outage} during outage)",
+            f"wasted              {self.wasted}",
+            f"expired on device   {self.expired_on_device}",
+            f"expired at proxy    {self.expired_at_proxy}",
+            f"retractions sent    {self.retractions_sent}",
+            f"bytes sent          {self.bytes_sent}",
+        ]
+        return "\n".join(lines)

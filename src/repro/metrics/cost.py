@@ -1,0 +1,79 @@
+"""Monetary and energy cost of last-hop traffic.
+
+The paper motivates volume limiting with "rated network access" and
+battery drain (§1, §2.3). A :class:`TariffModel` prices a run's last-hop
+traffic so experiments can report the *cost of waste* directly — the
+money and energy spent on messages the user never read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.metrics.accounting import RunStats
+
+
+@dataclass(frozen=True)
+class TariffModel:
+    """A simple rated-access tariff.
+
+    Defaults approximate a 2005-era GPRS data plan: a per-message
+    overhead (signalling) plus a per-kilobyte rate.
+    """
+
+    per_message: float = 0.002
+    per_kilobyte: float = 0.01
+    currency: str = "EUR"
+
+    def validate(self) -> None:
+        if self.per_message < 0 or self.per_kilobyte < 0:
+            raise ConfigurationError("tariff rates must be non-negative")
+
+    def price(self, messages: int, bytes_carried: int) -> float:
+        """Price a traffic volume under this tariff."""
+        return self.per_message * messages + self.per_kilobyte * bytes_carried / 1024.0
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Priced outcome of one run."""
+
+    total: float
+    wasted: float
+    currency: str
+
+    @property
+    def useful(self) -> float:
+        return self.total - self.wasted
+
+    @property
+    def wasted_fraction(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.wasted / self.total
+
+    def describe(self) -> str:
+        return (
+            f"{self.total:.2f} {self.currency} total, "
+            f"{self.wasted:.2f} {self.currency} "
+            f"({100 * self.wasted_fraction:.0f} %) spent on unread messages"
+        )
+
+
+def price_run(stats: RunStats, tariff: TariffModel = TariffModel()) -> CostBreakdown:
+    """Price one run's last-hop traffic.
+
+    The wasted share is attributed by message count: unread forwarded
+    messages carry the average per-message cost. Retractions count as
+    useful traffic (they save the user from junk).
+    """
+    tariff.validate()
+    transfers = stats.pushed + stats.pulled
+    total = tariff.price(transfers + stats.retractions_sent, stats.bytes_sent)
+    if stats.forwarded == 0:
+        wasted = 0.0
+    else:
+        data_cost = tariff.price(transfers, stats.bytes_sent)
+        wasted = data_cost * (stats.wasted / stats.forwarded)
+    return CostBreakdown(total=total, wasted=wasted, currency=tariff.currency)

@@ -1,0 +1,65 @@
+"""Small statistics helpers for replication sweeps.
+
+Experiments that average waste/loss over multiple seeds use these
+instead of pulling in heavier dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, standard deviation, and extrema of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count == 0:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def describe(self, unit: str = "") -> str:
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"{self.mean:.3f} ± {self.std:.3f}{suffix} "
+            f"(n={self.count}, range [{self.minimum:.3f}, {self.maximum:.3f}])"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty sample (population std)."""
+    if not values:
+        raise ConfigurationError("cannot summarize an empty sample")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((v - mean) ** 2 for v in values) / count
+    return Summary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample, q in [0, 1]."""
+    if not values:
+        raise ConfigurationError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"percentile q must be within [0, 1], got {q}")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]

@@ -1,0 +1,82 @@
+"""Waste and loss computation over paired runs.
+
+Waste is intrinsic to one run: the fraction of forwarded messages never
+read. Loss needs the paired on-line baseline executed on the identical
+trace: "upon the completion of a run, the set of messages read under a
+prefetching scenario was compared to the set of messages read under the
+on-line scenario" (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.accounting import RunStats
+
+
+def compute_waste(stats: RunStats) -> float:
+    """Fraction of forwarded messages the user never read, in [0, 1].
+
+    A run that forwarded nothing has zero waste (the pure on-demand
+    guarantee).
+    """
+    forwarded = stats.forwarded
+    if forwarded == 0:
+        return 0.0
+    return stats.wasted / forwarded
+
+
+def compute_loss(baseline: RunStats, policy: RunStats) -> float:
+    """Fraction of baseline-read messages the policy failed to deliver.
+
+    ``baseline`` must be the on-line run over the same trace. A baseline
+    that read nothing yields zero loss (both policies are "equally
+    powerless", as at 100 % outage).
+    """
+    baseline_read = baseline.read_ids
+    if not baseline_read:
+        return 0.0
+    missed = baseline_read - policy.read_ids
+    return len(missed) / len(baseline_read)
+
+
+@dataclass(frozen=True)
+class PairedMetrics:
+    """The waste/loss outcome of one paired (baseline, policy) run."""
+
+    waste: float
+    loss: float
+    #: Waste of the on-line baseline itself — the paper's "cap for the
+    #: maximum level of waste".
+    baseline_waste: float
+    forwarded: int
+    messages_read: int
+    baseline_read: int
+
+    @property
+    def waste_percent(self) -> float:
+        return 100.0 * self.waste
+
+    @property
+    def loss_percent(self) -> float:
+        return 100.0 * self.loss
+
+    def describe(self) -> str:
+        return (
+            f"waste {self.waste_percent:5.1f} %  loss {self.loss_percent:5.1f} %  "
+            f"(forwarded {self.forwarded}, read {self.messages_read}, "
+            f"baseline read {self.baseline_read}, "
+            f"baseline waste {100 * self.baseline_waste:.1f} %)"
+        )
+
+
+def pair_metrics(baseline: RunStats, policy: RunStats) -> PairedMetrics:
+    """Compute the full paired waste/loss record for two runs."""
+    return PairedMetrics(
+        waste=compute_waste(policy),
+        loss=compute_loss(baseline, policy),
+        baseline_waste=compute_waste(baseline),
+        forwarded=policy.forwarded,
+        messages_read=policy.messages_read,
+        baseline_read=baseline.messages_read,
+    )

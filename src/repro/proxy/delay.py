@@ -1,0 +1,104 @@
+"""The rank-instability delay stage (paper §3.4).
+
+"We instead propose that if a topic sees rank reductions, all events may
+be optionally delayed for a period of time long enough to separate the
+wheat from the chaff. […] It is clear that this delay would be computed
+based on the expiration history of past events, but finding the right
+formula demands data from a deployed pub/sub system."
+
+The paper leaves the formula open; we provide a reasonable one as the
+default — a high percentile of recently observed publication-to-drop
+delays, zero while no drops have been observed — plus the hook to plug
+in any other formula.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.errors import ConfigurationError
+from repro.units import DAY
+
+#: Signature of a pluggable delay formula: observed drop delays -> delay.
+DelayFunction = Callable[["DelayTracker"], float]
+
+
+class DelayTracker:
+    """Observes rank-drop history on a topic and recommends a delay.
+
+    ``record_publication`` and ``record_drop`` are fed by the proxy;
+    ``current_delay`` is the paper's ``delay_function(topic.history)``.
+    """
+
+    def __init__(
+        self,
+        window: int = 50,
+        percentile: float = 0.95,
+        max_delay: float = DAY,
+        formula: Optional[DelayFunction] = None,
+    ) -> None:
+        if not 0.0 < percentile <= 1.0:
+            raise ConfigurationError(f"percentile must be in (0, 1], got {percentile}")
+        if max_delay < 0:
+            raise ConfigurationError(f"max_delay must be non-negative, got {max_delay}")
+        self._window = window
+        self._percentile = percentile
+        self._max_delay = max_delay
+        self._formula = formula
+        self._drop_delays: Deque[float] = deque(maxlen=window)
+        self._publications = 0
+        self._drops = 0
+
+    @property
+    def publications(self) -> int:
+        """Accepted publications observed on the topic."""
+        return self._publications
+
+    @property
+    def drops(self) -> int:
+        """Rank reductions observed on the topic."""
+        return self._drops
+
+    @property
+    def drop_fraction(self) -> float:
+        """Observed fraction of publications later demoted."""
+        if self._publications == 0:
+            return 0.0
+        return self._drops / self._publications
+
+    def record_publication(self) -> None:
+        self._publications += 1
+
+    def record_drop(self, publication_to_drop_delay: float) -> None:
+        """Record that a rank drop arrived ``delay`` seconds after its
+        event was published."""
+        self._drops += 1
+        self._drop_delays.append(max(0.0, publication_to_drop_delay))
+
+    def current_delay(self) -> float:
+        """Recommended delay before events become prefetchable.
+
+        Default formula: zero until a drop has been observed ("assuming
+        that bad messages are detected quickly" there is no reason to
+        delay a topic that never retracts); afterwards, the configured
+        percentile of recent drop delays, capped at ``max_delay``.
+        """
+        if self._formula is not None:
+            return min(self._max_delay, max(0.0, self._formula(self)))
+        if not self._drop_delays:
+            return 0.0
+        ordered = sorted(self._drop_delays)
+        index = min(len(ordered) - 1, int(self._percentile * len(ordered)))
+        return min(self._max_delay, ordered[index])
+
+    def reset(self) -> None:
+        self._drop_delays.clear()
+        self._publications = 0
+        self._drops = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DelayTracker(drops={self._drops}/{self._publications}, "
+            f"delay={self.current_delay():.0f}s)"
+        )

@@ -1,0 +1,98 @@
+"""Structural invariants of the proxy state, for tests and debugging.
+
+The Figure 7 algorithm maintains several implicit invariants — an event
+is in at most one queue, forwarded events are never queued, everything
+queued is in the history, nothing queued is expired for longer than one
+timestamp. :func:`check_topic_state` asserts them all; the property
+suite calls it after randomized operation sequences, and it is cheap
+enough to sprinkle into debugging sessions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.proxy.state import TopicState
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant of the proxy state does not hold."""
+
+
+def check_topic_state(state: TopicState, now: float) -> List[str]:
+    """Check all invariants; returns the violations (empty = healthy).
+
+    Callers that want hard failure use :func:`assert_topic_state`.
+    """
+    violations: List[str] = []
+
+    outgoing_ids = {m.event_id for m in state.outgoing}
+    prefetch_ids = {m.event_id for m in state.prefetch}
+    holding_ids = {m.event_id for m in state.holding}
+    delayed_ids = set(state.delay_handles)
+
+    # 1. An event sits in at most one place.
+    groups = {
+        "outgoing": outgoing_ids,
+        "prefetch": prefetch_ids,
+        "holding": holding_ids,
+        "delay-stage": delayed_ids,
+    }
+    names = list(groups)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            overlap = groups[a] & groups[b]
+            if overlap:
+                violations.append(f"events {sorted(overlap)} in both {a} and {b}")
+
+    # 2. Forwarded events are never queued or delayed.
+    queued = outgoing_ids | prefetch_ids | holding_ids | delayed_ids
+    ghosts = queued & state.forwarded
+    if ghosts:
+        violations.append(f"forwarded events still queued: {sorted(ghosts)}")
+
+    # 3. Everything queued is known to the history.
+    unknown = queued - set(state.history)
+    if unknown:
+        violations.append(f"queued events missing from history: {sorted(unknown)}")
+
+    # 4. No queue retains an event past its expiry (the expiration
+    #    timeout fires at the deadline, so equality is permitted).
+    for name, queue in (
+        ("outgoing", state.outgoing),
+        ("prefetch", state.prefetch),
+        ("holding", state.holding),
+    ):
+        stale = [m.event_id for m in queue if m.expires_at is not None
+                 and m.expires_at < now]
+        if stale:
+            violations.append(f"{name} retains expired events: {sorted(stale)}")
+
+    # 5. Ranks of queued events respect the subscription threshold.
+    below = [
+        m.event_id
+        for queue in (state.outgoing, state.prefetch, state.holding)
+        for m in queue
+        if m.rank < state.rank_threshold
+    ]
+    if below:
+        violations.append(
+            f"events below rank threshold still queued: {sorted(below)}"
+        )
+
+    # 6. Counters are sane.
+    if state.queue_size < 0:
+        violations.append(f"negative client queue estimate: {state.queue_size}")
+    if state.prefetch_limit < 0:
+        violations.append(f"negative prefetch limit: {state.prefetch_limit}")
+
+    return violations
+
+
+def assert_topic_state(state: TopicState, now: float) -> None:
+    """Raise :class:`InvariantViolation` if any invariant fails."""
+    violations = check_topic_state(state, now)
+    if violations:
+        raise InvariantViolation(
+            f"topic {state.topic!r} violates invariants:\n  " + "\n  ".join(violations)
+        )

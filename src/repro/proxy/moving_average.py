@@ -1,0 +1,109 @@
+"""Moving averages over user behaviour.
+
+The paper's Figure 7 relies on two running statistics: the moving
+average of how many messages the user reads at a time (which sets the
+prefetch limit) and the moving average of the interval between reads
+(which sets the expiration threshold). "To help determine the prefetch
+limit, a proxy needs to keep track of several past user reads and
+calculate a moving average" (§3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import ConfigurationError
+
+#: Default number of past observations retained — "several past user
+#: reads".
+DEFAULT_WINDOW: int = 10
+
+
+class MovingAverage:
+    """Simple moving average over the last ``window`` observations."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be at least 1, got {window}")
+        self._window = window
+        self._values: Deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def count(self) -> int:
+        """Observations currently inside the window."""
+        return len(self._values)
+
+    def push(self, value: float) -> None:
+        """Record one observation."""
+        if len(self._values) == self._window:
+            self._sum -= self._values[0]
+        self._values.append(value)
+        self._sum += value
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current average, or None before the first observation."""
+        if not self._values:
+            return None
+        return self._sum / len(self._values)
+
+    def value_or(self, default: float) -> float:
+        """Current average, or ``default`` before the first observation."""
+        average = self.value
+        return default if average is None else average
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._sum = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MovingAverage(window={self._window}, value={self.value})"
+
+
+class IntervalAverage:
+    """Moving average of the gaps between successive timestamps.
+
+    This is the paper's ``moving_average_difference(topic.old_times)``:
+    push read timestamps, read off the mean interval between reads.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._gaps = MovingAverage(window)
+        self._last: Optional[float] = None
+
+    @property
+    def count(self) -> int:
+        """Number of intervals (not timestamps) observed in the window."""
+        return self._gaps.count
+
+    def push(self, timestamp: float) -> None:
+        """Record one timestamp; out-of-order timestamps are rejected."""
+        if self._last is not None:
+            gap = timestamp - self._last
+            if gap < 0:
+                raise ConfigurationError(
+                    f"timestamps must be non-decreasing (got {timestamp} after {self._last})"
+                )
+            self._gaps.push(gap)
+        self._last = timestamp
+
+    @property
+    def value(self) -> Optional[float]:
+        """Mean interval, or None until two timestamps are seen."""
+        return self._gaps.value
+
+    def value_or(self, default: float) -> float:
+        return self._gaps.value_or(default)
+
+    def reset(self) -> None:
+        self._gaps.reset()
+        self._last = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IntervalAverage(value={self.value})"

@@ -1,0 +1,546 @@
+"""The last-hop proxy: the paper's Figure 7 algorithm.
+
+The proxy relays notifications between the fixed pub/sub infrastructure
+and a mobile device. Its three entry points mirror the pseudo-code's
+three main routines:
+
+* :meth:`LastHopProxy.on_notification` — ``NOTIFICATION(event)``, called
+  when a new outside event (or a rank change) arrives;
+* :meth:`LastHopProxy.on_read` — ``READ(N, queue_size, client_events)``,
+  called when the user reads; "essentially, a read is not a request for
+  more data, but a request for 'better' data if it exists";
+* :meth:`LastHopProxy.on_network` — ``NETWORK(status)``, called when the
+  last-hop link goes up or down.
+
+Unlike the pseudo-code, which "did not include garbage collection", the
+proxy cancels dead timers and exposes :meth:`collect_garbage` so that
+year-long runs stay bounded (see :mod:`repro.proxy.gc`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
+
+from repro.broker.message import Notification
+from repro.errors import ConfigurationError, ProxyError
+from repro.metrics.accounting import RunStats
+from repro.proxy.delay import DelayTracker
+from repro.proxy.policies import PolicyConfig
+from repro.proxy.prefetch import BufferPrefetcher, RatePrefetcher
+from repro.proxy.schedule import DeliverySchedule
+from repro.proxy.queues import highest_ranked
+from repro.proxy.state import TopicState
+from repro.sim.engine import Simulator
+from repro.types import DeliveryMode, EventId, NetworkStatus, PolicyKind, TopicId, TopicType
+
+
+class Transport(Protocol):
+    """Last-hop downlink the proxy forwards through (implemented by
+    :class:`repro.device.link.LastHopLink`)."""
+
+    def deliver(self, notification: Notification, mode: DeliveryMode) -> None:
+        """Ship one notification to the device."""
+
+    def retract(self, event_id: EventId) -> None:
+        """Tell the device a forwarded notification's rank dropped below
+        the threshold and it should be discarded."""
+
+
+@dataclass(frozen=True)
+class ProxyConfig:
+    """Proxy-wide configuration; per-topic settings live on the topics."""
+
+    policy: PolicyConfig = field(default_factory=PolicyConfig.unified)
+
+    def validate(self) -> None:
+        self.policy.validate()
+
+
+@dataclass(frozen=True)
+class ReadResponse:
+    """Outcome of one READ exchange, for callers that want it."""
+
+    #: Notifications shipped to the device because they beat what the
+    #: client already held.
+    sent: Tuple[Notification, ...]
+    #: How many candidates the proxy considered across its queues.
+    candidates: int
+
+
+class LastHopProxy:
+    """One proxy instance serving one mobile device.
+
+    A proxy can manage several topics for its device (our extension; the
+    paper's evaluation uses one). Each topic gets its own
+    :class:`~repro.proxy.state.TopicState`, moving averages, and queues,
+    all governed by the configured forwarding policy.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        config: Optional[ProxyConfig] = None,
+        stats: Optional[RunStats] = None,
+    ) -> None:
+        self._sim = sim
+        self._transport = transport
+        self._config = config or ProxyConfig()
+        self._config.validate()
+        self._stats = stats if stats is not None else RunStats()
+        self._states: Dict[TopicId, TopicState] = {}
+        self._buffer = BufferPrefetcher(self._config.policy)
+        self._rate = RatePrefetcher(self._config.policy)
+        self._delay_trackers: Dict[TopicId, DelayTracker] = {}
+        #: Events whose retraction has been sent (or queued), per run.
+        self._retracted: Set[EventId] = set()
+        self._in_read = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> RunStats:
+        return self._stats
+
+    @property
+    def policy(self) -> PolicyConfig:
+        return self._config.policy
+
+    def add_topic(
+        self,
+        topic: TopicId,
+        topic_type: TopicType = TopicType.ON_DEMAND,
+        rank_threshold: float = 0.0,
+        delay_tracker: Optional[DelayTracker] = None,
+        schedule: Optional[DeliverySchedule] = None,
+    ) -> TopicState:
+        """Register a topic this proxy relays for its device.
+
+        ``schedule`` attaches §2.2 delivery refinements: quiet hours and
+        a daily push cap (enforced on proactive pushes of on-line
+        topics) and an urgent-interrupt threshold (notifications at or
+        above it are pushed immediately even on an on-demand topic).
+        """
+        if topic in self._states:
+            raise ConfigurationError(f"topic {topic!r} already registered at proxy")
+        if schedule is not None:
+            schedule.validate()
+        policy = self._config.policy
+        state = TopicState(
+            topic=topic,
+            topic_type=topic_type,
+            rank_threshold=rank_threshold,
+            ma_window=policy.ma_window,
+            schedule=schedule,
+        )
+        state.expiration_threshold = (
+            policy.initial_expiration_threshold
+            if policy.expiration_threshold is None
+            else policy.expiration_threshold
+        )
+        state.delay = 0.0 if policy.delay is None else policy.delay
+        state.prefetch_limit = self._buffer.effective_limit(state)
+        self._states[topic] = state
+        self._delay_trackers[topic] = delay_tracker or DelayTracker()
+        return state
+
+    def topic_state(self, topic: TopicId) -> TopicState:
+        try:
+            return self._states[topic]
+        except KeyError:
+            raise ProxyError(f"topic {topic!r} is not registered at this proxy") from None
+
+    @property
+    def topics(self) -> List[TopicId]:
+        return list(self._states)
+
+    # ------------------------------------------------------------------
+    # NOTIFICATION(event)
+    # ------------------------------------------------------------------
+    def on_notification(self, notification: Notification) -> None:
+        """Handle a new outside event or a rank-change announcement."""
+        state = self.topic_state(notification.topic)
+        existing = state.history.get(notification.event_id)
+        if existing is not None:
+            self._stats.rank_changes += 1
+            self._handle_rank_change(state, existing, notification)
+        else:
+            self._stats.arrivals += 1
+            self._handle_new_event(state, notification)
+        self.try_forwarding(state)
+
+    def _handle_rank_change(
+        self, state: TopicState, existing: Notification, update: Notification
+    ) -> None:
+        """The pseudo-code's first branch: the rank of a known event moved."""
+        tracker = self._delay_trackers[state.topic]
+        if update.rank < existing.rank:
+            tracker.record_drop(self._sim.now - existing.published_at)
+        existing.rank = update.rank
+
+        if update.rank < state.rank_threshold:
+            # "if rank has been lowered below the threshold"
+            was_queued = state.remove_everywhere(existing.event_id)
+            delay_handle = state.delay_handles.pop(existing.event_id, None)
+            if delay_handle is not None:
+                delay_handle.cancel()
+                was_queued = True
+            if existing.event_id in state.forwarded:
+                # "tell client of rank drop"
+                if existing.event_id not in self._retracted:
+                    self._retracted.add(existing.event_id)
+                    state.pending_retractions.append(existing.event_id)
+            elif was_queued:
+                # "don't bother client"
+                self._stats.dropped_before_forward += 1
+        else:
+            # Boost or within-threshold adjustment: re-key the event in
+            # whichever queue holds it so ranked selection stays correct.
+            for queue in (state.outgoing, state.prefetch, state.holding):
+                queue.reorder(existing)
+
+    def _handle_new_event(self, state: TopicState, notification: Notification) -> None:
+        """The pseudo-code's main branch: a genuinely new notification."""
+        if notification.rank < state.rank_threshold:
+            self._stats.filtered += 1
+            return
+        if notification.is_expired(self._sim.now):
+            # Dead on arrival (possible after wide-area routing latency).
+            self._stats.expired_at_proxy += 1
+            return
+        self._stats.accepted += 1
+        state.history[notification.event_id] = notification
+        tracker = self._delay_trackers[state.topic]
+        tracker.record_publication()
+
+        policy = self._config.policy
+        online = (
+            state.topic_type is TopicType.ONLINE or policy.kind is PolicyKind.ONLINE
+        )
+        if online:
+            # "send to client ASAP"
+            state.outgoing.add(notification)
+            if notification.expires_at is not None:
+                self._schedule_expiration(state, notification)
+            return
+
+        # On-demand path.
+        lifetime = notification.remaining_lifetime(self._sim.now)
+        if lifetime is not None:
+            state.exp_times.push(notification.lifetime or lifetime)
+            self._schedule_expiration(state, notification)
+        if state.schedule is not None and state.schedule.is_urgent(notification.rank):
+            # "an on-demand topic interrupts (e.g. a tornado warning)".
+            state.outgoing.add(notification)
+        elif lifetime is not None and lifetime < state.expiration_threshold:
+            # Expires too soon to be worth prefetching.
+            state.holding.add(notification)
+        elif state.delay > 0:
+            # Rank-instability delay stage (§3.4).
+            handle = self._sim.schedule(state.delay, self._delay_timeout, state, notification)
+            state.delay_handles[notification.event_id] = handle
+        else:
+            state.prefetch.add(notification)
+
+        # "topic.delay ← delay_function(topic.history)"
+        if policy.delay is None:
+            state.delay = tracker.current_delay()
+
+        if policy.kind is PolicyKind.RATE:
+            self._rate.observe_arrival(self._sim.now)
+            for _ in range(self._rate.earn(state)):
+                event = state.prefetch.pop_highest()
+                if event is None:
+                    break
+                state.outgoing.add(event)
+
+    def _schedule_expiration(self, state: TopicState, notification: Notification) -> None:
+        fire_at = max(self._sim.now, notification.expires_at or self._sim.now)
+        handle = self._sim.schedule_at(
+            fire_at, self._expiration_timeout, state, notification
+        )
+        state.expiration_handles[notification.event_id] = handle
+
+    # ------------------------------------------------------------------
+    # READ(N, queue_size, client_events)
+    # ------------------------------------------------------------------
+    def on_read(
+        self,
+        topic: TopicId,
+        n: int,
+        queue_size: int,
+        client_events: Sequence[Tuple[EventId, float]] = (),
+    ) -> ReadResponse:
+        """Serve a user read: ship "better" data than the client holds.
+
+        ``client_events`` carries up to N (event id, rank) pairs for the
+        highest-ranked events already on the device — "with effective
+        prefetching this set may be better than anything available in
+        queues on the server, making any transfer unnecessary".
+        """
+        state = self.topic_state(topic)
+        if state.network is not NetworkStatus.UP:
+            raise ProxyError("READ reached the proxy while the link is down")
+        if n < 0:
+            raise ProxyError(f"READ with negative N: {n}")
+        now = self._sim.now
+        self._stats.read_requests += 1
+        policy = self._config.policy
+
+        # Bookkeeping that drives the adaptive knobs.
+        state.old_reads.push(float(n))
+        state.old_times.push(now)
+        if policy.expiration_threshold is None:
+            state.expiration_threshold = state.old_times.value_or(
+                policy.initial_expiration_threshold
+            )
+        state.queue_size = queue_size
+
+        # "best ← get_highest_ranked(N, outgoing ∪ prefetch ∪ holding)"
+        best = highest_ranked(n, state.outgoing, state.prefetch, state.holding)
+        best = [m for m in best if not m.is_expired(now)]
+        candidates = len(best)
+
+        # "difference ← get_highest_ranked(N, best ∪ client_events) \ client_events"
+        client_ranks = [rank for _eid, rank in client_events]
+        merged: List[Tuple[float, int, Optional[Notification]]] = []
+        for rank in client_ranks:
+            merged.append((rank, 1, None))  # prefer keeping client copies
+        for item in best:
+            merged.append((item.rank, 0, item))
+        merged.sort(key=lambda entry: (-entry[0], entry[1]))
+        difference = [
+            entry[2] for entry in merged[:n] if entry[2] is not None
+        ]
+
+        for item in difference:
+            state.remove_everywhere(item.event_id)
+            state.outgoing.add(item)
+
+        self._in_read = True
+        try:
+            self.try_forwarding(state)
+        finally:
+            self._in_read = False
+        return ReadResponse(sent=tuple(difference), candidates=candidates)
+
+    def on_queue_report(self, topic: TopicId, queue_size: int) -> None:
+        """Accept an out-of-band client queue-occupancy report.
+
+        Devices announce themselves when the link returns (that is how
+        the proxy learns the link is usable) and piggyback their queue
+        occupancy; without this, the proxy's ``queue_size`` estimate can
+        only be corrected by READ exchanges and goes stale across
+        outages, starving the prefetch buffer.
+        """
+        if queue_size < 0:
+            raise ProxyError(f"queue report with negative size: {queue_size}")
+        self.topic_state(topic).queue_size = queue_size
+
+    def on_read_report(
+        self, topic: TopicId, reads: Sequence[Tuple[float, int]]
+    ) -> None:
+        """Accept a log of reads the device performed while offline.
+
+        The adaptive prefetch limit and expiration threshold are moving
+        averages over *user reads*; reads during outages never produce a
+        READ exchange, so without this report the proxy would estimate
+        the read interval from up-reads only and grossly overestimate it
+        on mostly-disconnected links. The device piggybacks the log
+        (a few bytes per read) on its reconnection announcement.
+        """
+        state = self.topic_state(topic)
+        policy = self._config.policy
+        for time, n in reads:
+            if n < 0:
+                raise ProxyError(f"read report with negative N: {n}")
+            state.old_reads.push(float(n))
+            state.old_times.push(time)
+        if reads and policy.expiration_threshold is None:
+            state.expiration_threshold = state.old_times.value_or(
+                policy.initial_expiration_threshold
+            )
+
+    # ------------------------------------------------------------------
+    # NETWORK(status)
+    # ------------------------------------------------------------------
+    def on_network(self, status: NetworkStatus) -> None:
+        """Handle a last-hop link transition."""
+        for state in self._states.values():
+            state.network = status
+        if status is NetworkStatus.UP:
+            for state in self._states.values():
+                self.try_forwarding(state)
+
+    # ------------------------------------------------------------------
+    # try_forwarding()
+    # ------------------------------------------------------------------
+    def try_forwarding(self, state: TopicState) -> None:
+        """Flush the outgoing queue, then prefetch into spare client room."""
+        if state.network is not NetworkStatus.UP:
+            return
+        now = self._sim.now
+
+        # Rank-drop retractions ride the same link as soon as it is up.
+        while state.pending_retractions:
+            event_id = state.pending_retractions.pop()
+            self._transport.retract(event_id)
+            self._stats.retractions_sent += 1
+
+        # "first empty the outgoing queue"
+        while True:
+            event = state.outgoing.pop_highest()
+            if event is None:
+                break
+            if event.is_expired(now):
+                self._stats.expired_at_proxy += 1
+                self._forget_event(state, event.event_id)
+                continue
+            if not self._in_read and not self._push_allowed(state, event):
+                if state.quiet_wakeup is not None:
+                    break  # quiet window: outgoing resumes at its end
+                continue  # budget exhausted: event moved to prefetch
+            self._do_forward(state, event)
+
+        # "then see if anything should be prefetched"
+        state.prefetch_limit = self._buffer.effective_limit(state)
+        while state.queue_size < state.prefetch_limit and state.prefetch:
+            if (
+                state.topic_type is TopicType.ONLINE
+                and not self._in_read
+                and self._defer_for_quiet(state)
+            ):
+                # On an on-line topic a prefetch push still displays;
+                # hold it until the quiet window ends.
+                break
+            event = state.prefetch.pop_highest()
+            if event is None:
+                break
+            if event.is_expired(now):
+                self._stats.expired_at_proxy += 1
+                self._forget_event(state, event.event_id)
+                continue
+            if (
+                state.schedule is not None
+                and state.schedule.max_pushes_per_day is not None
+                and not state.push_budget.try_spend(now)
+            ):
+                state.prefetch.add(event)
+                break  # today's push budget is spent
+            self._do_forward(state, event)
+
+    def _defer_for_quiet(self, state: TopicState) -> bool:
+        """If the topic is inside a quiet window, arm the wake-up and
+        return True."""
+        schedule = state.schedule
+        if schedule is None or schedule.quiet_hours is None:
+            return False
+        quiet_end = schedule.quiet_hours.quiet_end(self._sim.now)
+        if quiet_end is None:
+            return False
+        if state.quiet_wakeup is None or state.quiet_wakeup.cancelled:
+            state.quiet_wakeup = self._sim.schedule_at(
+                quiet_end, self._quiet_timeout, state
+            )
+        return True
+
+    def _push_allowed(self, state: TopicState, event: Notification) -> bool:
+        """Apply the §2.2 schedule to one proactive push from outgoing.
+
+        Returns True if the event may be forwarded now. Otherwise the
+        event has been re-queued appropriately: back into outgoing with
+        a wake-up at the end of the quiet window, or into the prefetch
+        queue when today's push budget is exhausted. Urgent events
+        always pass.
+        """
+        schedule = state.schedule
+        if schedule is None or schedule.is_urgent(event.rank):
+            return True
+        if self._defer_for_quiet(state):
+            state.outgoing.add(event)
+            return False
+        if not state.push_budget.try_spend(self._sim.now):
+            state.prefetch.add(event)
+            return False
+        return True
+
+    def _quiet_timeout(self, state: TopicState) -> None:
+        """End of a quiet window: resume deferred pushes."""
+        state.quiet_wakeup = None
+        self.try_forwarding(state)
+
+    def _do_forward(self, state: TopicState, event: Notification) -> None:
+        """``do_forward(event)`` — ship one notification downlink."""
+        mode = DeliveryMode.PULLED if self._in_read else DeliveryMode.PUSHED
+        self._transport.deliver(event, mode)
+        state.queue_size += 1
+        state.forwarded.add(event.event_id)
+        self._stats.record_forward(event.event_id, event.size_bytes, mode)
+        # The device owns expiry from here on.
+        handle = state.expiration_handles.pop(event.event_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _expiration_timeout(self, state: TopicState, event: Notification) -> None:
+        """``expiration_timeout(event)`` — remove from all queues."""
+        state.expiration_handles.pop(event.event_id, None)
+        removed = state.remove_everywhere(event.event_id)
+        delay_handle = state.delay_handles.pop(event.event_id, None)
+        if delay_handle is not None:
+            delay_handle.cancel()
+            removed = True
+        if removed:
+            self._stats.expired_at_proxy += 1
+        # History is retained so late rank changes still match; the GC
+        # horizon (collect_garbage) reclaims it eventually.
+
+    def _delay_timeout(self, state: TopicState, event: Notification) -> None:
+        """``delay_timeout(event)`` — after the delay, allow prefetching."""
+        state.delay_handles.pop(event.event_id, None)
+        if event.is_expired(self._sim.now):
+            return
+        if event.rank < state.rank_threshold:
+            return  # demoted while delayed; already accounted
+        state.prefetch.add(event)
+        self.try_forwarding(state)
+
+    def _forget_event(self, state: TopicState, event_id: EventId) -> None:
+        state.cancel_timers(event_id)
+
+    # ------------------------------------------------------------------
+    # Garbage collection (the paper notes it omitted this)
+    # ------------------------------------------------------------------
+    def collect_garbage(self, history_horizon: Optional[float] = None) -> int:
+        """Drop stale bookkeeping; returns entries reclaimed.
+
+        See :func:`repro.proxy.gc.collect` for the scheduled variant.
+        ``history_horizon`` prunes history entries older than the given
+        number of seconds that are no longer queued anywhere.
+        """
+        reclaimed = 0
+        now = self._sim.now
+        for state in self._states.values():
+            for queue in (state.outgoing, state.prefetch, state.holding):
+                stale = queue.stale_entries
+                if stale > len(queue) + 16:
+                    queue.compact()
+                    reclaimed += stale
+            if history_horizon is not None:
+                cutoff = now - history_horizon
+                doomed = [
+                    event_id
+                    for event_id, event in state.history.items()
+                    if event.published_at < cutoff and not state.in_any_queue(event_id)
+                    and event_id not in state.delay_handles
+                ]
+                for event_id in doomed:
+                    del state.history[event_id]
+                    state.forwarded.discard(event_id)
+                reclaimed += len(doomed)
+        reclaimed += self._sim.drain_cancelled()
+        return reclaimed

@@ -1,0 +1,148 @@
+"""Ranked notification queues.
+
+The paper's pseudo-code manipulates queues with set notation — union,
+difference, and ``get_highest_ranked(N, …)``. :class:`RankedQueue`
+provides exactly those operations efficiently: a lazy-deletion binary
+heap ordered by (rank descending, arrival order ascending) plus an
+id-keyed index for O(1) membership and removal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.broker.message import Notification
+from repro.types import EventId
+
+
+class RankedQueue:
+    """A queue of notifications ordered by rank (highest first).
+
+    Ties break by insertion order, so two equally ranked notifications
+    come out oldest-first — matching a user reading equally important
+    news in publication order.
+    """
+
+    def __init__(self, items: Iterable[Notification] = ()) -> None:
+        #: heap of (-rank, seq, event_id); stale entries are skipped.
+        self._heap: List[Tuple[float, int, EventId]] = []
+        self._items: Dict[EventId, Notification] = {}
+        self._seq = itertools.count()
+        for item in items:
+            self.add(item)
+
+    def add(self, notification: Notification) -> None:
+        """Insert a notification; re-adding one already present updates
+        its heap position (used after rank changes)."""
+        self._items[notification.event_id] = notification
+        heapq.heappush(
+            self._heap, (-notification.rank, next(self._seq), notification.event_id)
+        )
+
+    def remove(self, event_id: EventId) -> Optional[Notification]:
+        """Remove by id. Returns the notification or None if absent.
+
+        The heap entry is left in place and skipped lazily when popped.
+        """
+        return self._items.pop(event_id, None)
+
+    def discard(self, notification: Notification) -> Optional[Notification]:
+        """Set-notation convenience: ``queue \\ event``."""
+        return self.remove(notification.event_id)
+
+    def reorder(self, notification: Notification) -> None:
+        """Re-key a member whose rank changed. No-op if absent."""
+        if notification.event_id in self._items:
+            self.add(notification)
+
+    def pop_highest(self) -> Optional[Notification]:
+        """Remove and return the highest-ranked notification, or None."""
+        while self._heap:
+            neg_rank, _seq, event_id = heapq.heappop(self._heap)
+            item = self._items.get(event_id)
+            if item is None:
+                continue  # removed or stale duplicate entry
+            if -neg_rank != item.rank:
+                continue  # stale entry from before a rank change
+            del self._items[event_id]
+            return item
+        return None
+
+    def peek_highest(self) -> Optional[Notification]:
+        """Return (without removing) the highest-ranked notification."""
+        while self._heap:
+            neg_rank, _seq, event_id = self._heap[0]
+            item = self._items.get(event_id)
+            if item is None or -neg_rank != item.rank:
+                heapq.heappop(self._heap)
+                continue
+            return item
+        return None
+
+    def top_n(self, n: int) -> List[Notification]:
+        """The ``get_highest_ranked(N, queue)`` of the paper's pseudo-code
+        — the N highest-ranked members, without removal."""
+        if n <= 0 or not self._items:
+            return []
+        # Stable sort keeps insertion order within equal ranks.
+        ordered = sorted(self._items.values(), key=lambda m: -m.rank)
+        return ordered[:n]
+
+    def prune_expired(self, now: float) -> List[Notification]:
+        """Drop every expired member, returning them (for accounting)."""
+        expired = [m for m in self._items.values() if m.is_expired(now)]
+        for item in expired:
+            del self._items[item.event_id]
+        return expired
+
+    def compact(self) -> None:
+        """Rebuild the heap, discarding stale lazy-deletion entries."""
+        self._heap = [
+            (-item.rank, next(self._seq), event_id)
+            for event_id, item in self._items.items()
+        ]
+        heapq.heapify(self._heap)
+
+    @property
+    def stale_entries(self) -> int:
+        """Number of lazy-deletion leftovers currently in the heap."""
+        return len(self._heap) - len(self._items)
+
+    def get(self, event_id: EventId) -> Optional[Notification]:
+        return self._items.get(event_id)
+
+    def __contains__(self, key: object) -> bool:
+        if isinstance(key, Notification):
+            return key.event_id in self._items
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[Notification]:
+        """Iterate members in rank order (highest first)."""
+        return iter(sorted(self._items.values(), key=lambda m: -m.rank))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RankedQueue({len(self._items)} items)"
+
+
+def highest_ranked(n: int, *queues: RankedQueue) -> List[Notification]:
+    """``get_highest_ranked(N, q1 ∪ q2 ∪ …)`` over several queues.
+
+    Members appearing in multiple queues (which the proxy avoids, but
+    set semantics permit) are considered once.
+    """
+    seen: Dict[EventId, Notification] = {}
+    for queue in queues:
+        for item in queue._items.values():
+            seen.setdefault(item.event_id, item)
+    if n <= 0:
+        return []
+    members = sorted(seen.values(), key=lambda m: -m.rank)
+    return members[:n]

@@ -1,0 +1,227 @@
+"""Proxy replication (the paper's §4 future work).
+
+"Also, to avoid making the proxy a single point of failure, we will
+consider approaches to replicating it."
+
+The scheme here is a classic hot standby with asynchronous log
+shipping:
+
+* both replicas receive the full NOTIFICATION stream from the routing
+  substrate (each with its own message instances, since ranks mutate);
+* the primary serves the device; every externally visible action —
+  forward, retraction, READ bookkeeping — is shipped to the backup as a
+  small sync record after ``replication_delay`` seconds;
+* the backup applies sync records to keep its queues, forwarded set,
+  and adaptive moving averages aligned, while its own downlink stays
+  muted (it believes the network is down, so ``try_forwarding`` no-ops);
+* on :meth:`ReplicatedProxy.fail_primary`, the backup takes over: it
+  learns the real link status and immediately resumes forwarding from
+  its reconstructed state.
+
+Failover is at-least-once: records still in flight when the primary
+dies are lost, so the backup may re-forward a handful of notifications
+the device already holds. Deliveries and retractions are idempotent at
+the device, so this costs duplicate transfers, never correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Optional, Sequence, Tuple
+
+from repro.broker.message import Notification
+from repro.errors import ProxyError, ReplicationError
+from repro.metrics.accounting import RunStats
+from repro.proxy.proxy import LastHopProxy, ProxyConfig, ReadResponse, Transport
+from repro.sim.engine import Simulator
+from repro.types import DeliveryMode, EventId, NetworkStatus, TopicId, TopicType
+
+
+def _clone(notification: Notification) -> Notification:
+    """Fresh instance for the backup; replicas must not share rank state."""
+    return dc_replace(notification)
+
+
+class _ShippingTransport:
+    """Wraps the real downlink; ships a sync record per primary action."""
+
+    def __init__(self, real: Transport, owner: "ReplicatedProxy") -> None:
+        self._real = real
+        self._owner = owner
+
+    def deliver(self, notification: Notification, mode: DeliveryMode) -> None:
+        self._real.deliver(notification, mode)
+        self._owner._ship_forward(notification.topic, notification.event_id)
+
+    def retract(self, event_id: EventId) -> None:
+        self._real.retract(event_id)
+        self._owner._ship_retraction(event_id)
+
+
+class ReplicatedProxy:
+    """A primary/backup pair behind the single-proxy interface.
+
+    Drop-in for :class:`LastHopProxy` in the runner wiring: it exposes
+    the same ``on_notification`` / ``on_read`` / ``on_network`` /
+    ``on_queue_report`` / ``on_read_report`` surface and fans the inputs
+    out to the replicas.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        config: Optional[ProxyConfig] = None,
+        stats: Optional[RunStats] = None,
+        replication_delay: float = 0.050,
+    ) -> None:
+        if replication_delay < 0:
+            raise ReplicationError(
+                f"replication_delay must be non-negative, got {replication_delay}"
+            )
+        self._sim = sim
+        self._stats = stats if stats is not None else RunStats()
+        self._delay = replication_delay
+        self._primary = LastHopProxy(
+            sim, _ShippingTransport(transport, self), config, self._stats
+        )
+        self._backup = LastHopProxy(sim, transport, config, self._stats)
+        self._primary_failed = False
+        self._link_status = NetworkStatus.UP
+        self.records_shipped = 0
+        self.records_lost = 0
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> LastHopProxy:
+        """The replica currently serving the device."""
+        return self._backup if self._primary_failed else self._primary
+
+    @property
+    def primary_failed(self) -> bool:
+        return self._primary_failed
+
+    def add_topic(self, topic: TopicId, **kwargs) -> None:
+        """Register a topic at both replicas."""
+        self._primary.add_topic(topic, **kwargs)
+        self._backup.add_topic(topic, **kwargs)
+        # The backup's downlink stays muted until takeover.
+        self._backup.topic_state(topic).network = NetworkStatus.DOWN
+
+    def topic_state(self, topic: TopicId):
+        return self.active.topic_state(topic)
+
+    @property
+    def stats(self) -> RunStats:
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def fail_primary(self) -> None:
+        """Kill the primary; the backup takes over immediately.
+
+        Sync records still in flight are lost (asynchronous shipping),
+        so the backup may re-forward what the device already holds.
+        """
+        if self._primary_failed:
+            raise ReplicationError("primary has already failed")
+        self._primary_failed = True
+        self.failovers += 1
+        # The backup learns the real link status and resumes service.
+        self._backup.on_network(self._link_status)
+
+    # ------------------------------------------------------------------
+    # Proxy interface (fans out to replicas)
+    # ------------------------------------------------------------------
+    def on_notification(self, notification: Notification) -> None:
+        if not self._primary_failed:
+            self._primary.on_notification(notification)
+        self._backup.on_notification(_clone(notification))
+
+    def on_read(
+        self,
+        topic: TopicId,
+        n: int,
+        queue_size: int,
+        client_events: Sequence[Tuple[EventId, float]] = (),
+    ) -> ReadResponse:
+        response = self.active.on_read(topic, n, queue_size, client_events)
+        if not self._primary_failed:
+            self._ship_read(topic, self._sim.now, n, queue_size)
+        return response
+
+    def on_network(self, status: NetworkStatus) -> None:
+        self._link_status = status
+        self.active.on_network(status)
+
+    def on_queue_report(self, topic: TopicId, queue_size: int) -> None:
+        self.active.on_queue_report(topic, queue_size)
+        if not self._primary_failed:
+            # Cheap metadata: replicate synchronously.
+            self._backup.on_queue_report(topic, queue_size)
+
+    def on_read_report(self, topic: TopicId, reads: Sequence[Tuple[float, int]]) -> None:
+        self.active.on_read_report(topic, reads)
+        if not self._primary_failed:
+            self._backup.on_read_report(topic, reads)
+
+    def collect_garbage(self, history_horizon: Optional[float] = None) -> int:
+        reclaimed = self._primary.collect_garbage(history_horizon)
+        reclaimed += self._backup.collect_garbage(history_horizon)
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Log shipping (primary -> backup)
+    # ------------------------------------------------------------------
+    def _ship(self, apply, *args) -> None:
+        self.records_shipped += 1
+        if self._delay > 0:
+            self._sim.schedule(self._delay, self._apply_record, apply, args)
+        else:
+            self._apply_record(apply, args)
+
+    def _apply_record(self, apply, args) -> None:
+        if self._primary_failed:
+            self.records_lost += 1  # in flight when the primary died
+            return
+        apply(*args)
+
+    def _ship_forward(self, topic: TopicId, event_id: EventId) -> None:
+        self._ship(self._apply_forward, topic, event_id)
+
+    def _ship_retraction(self, event_id: EventId) -> None:
+        self._ship(self._apply_retraction, event_id)
+
+    def _ship_read(self, topic: TopicId, time: float, n: int, queue_size: int) -> None:
+        self._ship(self._apply_read, topic, time, n, queue_size)
+
+    def _apply_forward(self, topic: TopicId, event_id: EventId) -> None:
+        """Mirror one primary forward into the backup's state."""
+        state = self._backup.topic_state(topic)
+        state.remove_everywhere(event_id)
+        state.cancel_timers(event_id)
+        state.forwarded.add(event_id)
+        state.queue_size += 1
+
+    def _apply_retraction(self, event_id: EventId) -> None:
+        """Mark a retraction as already delivered to the device."""
+        self._backup._retracted.add(event_id)
+        for state in self._backup._states.values():
+            if event_id in state.pending_retractions:
+                state.pending_retractions.remove(event_id)
+
+    def _apply_read(self, topic: TopicId, time: float, n: int, queue_size: int) -> None:
+        """Mirror the READ bookkeeping that drives the adaptive knobs."""
+        state = self._backup.topic_state(topic)
+        state.old_reads.push(float(n))
+        state.old_times.push(time)
+        state.queue_size = queue_size
+        policy = self._backup.policy
+        if policy.expiration_threshold is None:
+            state.expiration_threshold = state.old_times.value_or(
+                policy.initial_expiration_threshold
+            )

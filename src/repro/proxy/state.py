@@ -1,0 +1,127 @@
+"""Per-topic proxy state.
+
+Mirrors the variables of the paper's Figure 7 pseudo-code: the three
+queues, the event history and forwarded set, the moving averages over
+expirations and user reads, the proxy's estimate of the client queue
+size, the current prefetch limit / expiration threshold / delay, and the
+network status.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.broker.message import Notification
+from repro.proxy.moving_average import IntervalAverage, MovingAverage
+from repro.proxy.queues import RankedQueue
+from repro.proxy.schedule import DeliverySchedule, PushBudget
+from repro.sim.engine import EventHandle
+from repro.types import EventId, NetworkStatus, TopicId, TopicType
+
+
+class TopicState:
+    """All mutable proxy state for one (device, topic) pair."""
+
+    def __init__(
+        self,
+        topic: TopicId,
+        topic_type: TopicType = TopicType.ON_DEMAND,
+        rank_threshold: float = 0.0,
+        ma_window: int = 10,
+        schedule: Optional[DeliverySchedule] = None,
+    ) -> None:
+        self.topic = topic
+        self.topic_type = topic_type
+        #: Subscriber's qualitative limit (the subscription's Threshold).
+        self.rank_threshold = rank_threshold
+        #: §2.2 delivery refinements (quiet hours, daily push cap,
+        #: urgent-interrupt threshold), or None for plain behaviour.
+        self.schedule = schedule
+        self.push_budget = PushBudget(
+            schedule.max_pushes_per_day if schedule is not None else None
+        )
+        #: Pending wake-up at the end of the current quiet window.
+        self.quiet_wakeup: Optional[EventHandle] = None
+
+        # The three queues of Figure 7.
+        self.outgoing = RankedQueue()   #: must be forwarded ASAP
+        self.prefetch = RankedQueue()   #: okay to prefetch when there is room
+        self.holding = RankedQueue()    #: expires too soon to prefetch
+
+        #: Every event ever accepted on the topic (``topic.history``).
+        self.history: Dict[EventId, Notification] = {}
+        #: Events forwarded to the client (``topic.forwarded``).
+        self.forwarded: set = set()
+
+        # Moving averages.
+        self.exp_times = MovingAverage(ma_window)      #: ``topic.exp_times``
+        self.old_reads = MovingAverage(ma_window)      #: ``topic.old_reads``
+        self.old_times = IntervalAverage(ma_window)    #: ``topic.old_times``
+
+        #: Proxy's estimate of how many messages sit on the client
+        #: (``topic.queue_size``); synced on every READ.
+        self.queue_size = 0
+
+        #: Effective knobs, updated by the policy logic.
+        self.prefetch_limit: int = 0
+        self.expiration_threshold: float = 0.0
+        self.delay: float = 0.0
+
+        self.network: NetworkStatus = NetworkStatus.UP
+
+        # Timer bookkeeping (not in the pseudo-code, which leaks timers).
+        self.expiration_handles: Dict[EventId, EventHandle] = {}
+        self.delay_handles: Dict[EventId, EventHandle] = {}
+        #: Rank-drop retractions waiting for the link to come back up.
+        self.pending_retractions: list = []
+
+    # ------------------------------------------------------------------
+    @property
+    def avg_exp(self) -> Optional[float]:
+        """``topic.avg_exp`` — moving average of granted lifetimes."""
+        return self.exp_times.value
+
+    @property
+    def mean_read_interval(self) -> Optional[float]:
+        """Moving average of the time between user reads."""
+        return self.old_times.value
+
+    @property
+    def mean_read_size(self) -> Optional[float]:
+        """Moving average of the read request size N."""
+        return self.old_reads.value
+
+    def queued_event_count(self) -> int:
+        """Events currently waiting in any proxy queue."""
+        return len(self.outgoing) + len(self.prefetch) + len(self.holding)
+
+    def in_any_queue(self, event_id: EventId) -> bool:
+        return (
+            event_id in self.outgoing
+            or event_id in self.prefetch
+            or event_id in self.holding
+        )
+
+    def remove_everywhere(self, event_id: EventId) -> bool:
+        """Remove an event from all three queues; True if it was queued."""
+        removed = False
+        for queue in (self.outgoing, self.prefetch, self.holding):
+            if queue.remove(event_id) is not None:
+                removed = True
+        return removed
+
+    def cancel_timers(self, event_id: EventId) -> None:
+        """Cancel any expiration/delay timers still pending for an event."""
+        handle = self.expiration_handles.pop(event_id, None)
+        if handle is not None:
+            handle.cancel()
+        handle = self.delay_handles.pop(event_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TopicState({self.topic!r}, out={len(self.outgoing)}, "
+            f"pre={len(self.prefetch)}, hold={len(self.holding)}, "
+            f"client≈{self.queue_size}, limit={self.prefetch_limit})"
+        )

@@ -1,0 +1,177 @@
+"""Heap-scheduled discrete-event engine.
+
+The engine is intentionally small and strictly deterministic: events
+scheduled for the same timestamp fire in scheduling order (FIFO), which
+makes paired policy runs reproducible bit-for-bit. This mirrors the
+``schedule()`` primitive in the paper's Figure 7 pseudo-code, which is
+used both for expiring notifications and for the delay stage.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+Callback = Callable[..., None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry. Ordered by (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Holding the handle allows the caller to cancel the event before it
+    fires; the engine simply skips cancelled entries when they surface.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this handle."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, {state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(5.0, print, "five seconds in")
+        sim.run()
+        assert sim.now == 5.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._heap: List[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of (non-cancelled) events that have fired."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue, including cancelled ones."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callback, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay fires the callback on
+        the current timestamp after all events already scheduled for it.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.3f} s in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callback, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.3f} before current t={self._now:.3f}"
+            )
+        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Fire the next pending event. Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events in time order.
+
+        With ``until`` set, stops once the next event lies strictly beyond
+        that time and advances the clock to exactly ``until``; without it,
+        runs until the queue drains.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run() call)")
+        self._running = True
+        try:
+            if until is not None and until < self._now:
+                raise SimulationError(
+                    f"cannot run until t={until:.3f}, clock already at t={self._now:.3f}"
+                )
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_processed += 1
+                event.callback(*event.args)
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+
+    def drain_cancelled(self) -> int:
+        """Compact the heap by discarding cancelled entries.
+
+        Long runs that cancel many timers (e.g. expiration timeouts for
+        messages that were read first) can call this to bound memory.
+        Returns the number of entries removed.
+        """
+        before = len(self._heap)
+        live = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(live)
+        self._heap = live
+        return before - len(live)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.3f}, pending={len(self._heap)}, "
+            f"processed={self._events_processed})"
+        )

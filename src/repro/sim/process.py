@@ -1,0 +1,84 @@
+"""Generator-based processes on top of the event engine.
+
+Most of this library schedules plain callbacks, but long-lived behaviours
+(a publisher emitting forever, a device that periodically polls) read
+more naturally as coroutines that ``yield`` delays. A :class:`Process`
+adapts such a generator onto a :class:`~repro.sim.engine.Simulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+
+#: A process body yields the number of seconds to sleep before resuming.
+ProcessBody = Generator[float, None, None]
+
+
+class ProcessExit(Exception):
+    """Raised inside a process body by :meth:`Process.interrupt`."""
+
+
+class Process:
+    """Drives a generator over simulation time.
+
+    Example::
+
+        def heartbeat(sim, log):
+            while True:
+                log.append(sim.now)
+                yield 10.0
+
+        sim = Simulator()
+        Process(sim, heartbeat(sim, beats := []))
+        sim.run(until=35.0)
+        assert beats == [0.0, 10.0, 20.0, 30.0]
+    """
+
+    def __init__(self, sim: Simulator, body: ProcessBody, start_delay: float = 0.0) -> None:
+        self._sim = sim
+        self._body = body
+        self._alive = True
+        self._interrupted = False
+        self._handle: Optional[EventHandle] = sim.schedule(start_delay, self._step)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process body has neither returned nor been interrupted."""
+        return self._alive
+
+    def interrupt(self) -> None:
+        """Stop the process: cancel its pending timer and close the body.
+
+        The body observes this as a :class:`ProcessExit` thrown at its
+        current yield point, giving it a chance to clean up.
+        """
+        if not self._alive:
+            return
+        self._interrupted = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self._finish(throw=True)
+
+    def _step(self) -> None:
+        if not self._alive:
+            return
+        try:
+            delay = next(self._body)
+        except StopIteration:
+            self._alive = False
+            self._handle = None
+            return
+        self._handle = self._sim.schedule(max(0.0, delay), self._step)
+
+    def _finish(self, throw: bool) -> None:
+        self._alive = False
+        if throw:
+            try:
+                self._body.throw(ProcessExit())
+            except (ProcessExit, StopIteration):
+                pass
+        else:  # pragma: no cover - symmetry; interrupt always throws
+            self._body.close()

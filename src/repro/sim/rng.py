@@ -1,0 +1,165 @@
+"""Seeded random source with the distributions the paper draws from.
+
+The evaluation needs Poisson arrival processes, normally distributed
+daily read counts, exponential/uniform/normal expiration lifetimes, and
+high-variance outage inter-arrival times. Everything is built on
+:class:`random.Random` so runs are reproducible from a single integer
+seed, and *named substreams* guarantee that changing how many draws one
+generator makes cannot perturb another (essential for paired runs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Iterator, List, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def _derive_seed(seed: int, name: str) -> int:
+    """Derive a stable 64-bit substream seed from a parent seed and name."""
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomSource:
+    """A deterministic random source with simulation-oriented helpers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._random = random.Random(seed)
+
+    @property
+    def seed(self) -> int:
+        """The seed this source was created with."""
+        return self._seed
+
+    def spawn(self, name: str) -> "RandomSource":
+        """Create an independent substream keyed by ``name``.
+
+        Two sources spawned with the same (seed, name) pair produce the
+        same sequence regardless of what either parent does afterwards.
+        """
+        return RandomSource(_derive_seed(self._seed, name))
+
+    # ------------------------------------------------------------------
+    # Elementary draws
+    # ------------------------------------------------------------------
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Draw uniformly from ``[low, high)``."""
+        return self._random.uniform(low, high)
+
+    def normal(self, mean: float, std: float) -> float:
+        """Draw from a normal distribution."""
+        return self._random.gauss(mean, std)
+
+    def truncated_normal(self, mean: float, std: float, low: float, high: float) -> float:
+        """Draw from a normal distribution, rejecting values outside bounds.
+
+        Falls back to clamping after 64 rejections so pathological bounds
+        cannot loop forever.
+        """
+        if low > high:
+            raise ConfigurationError(f"truncated_normal bounds reversed: [{low}, {high}]")
+        for _ in range(64):
+            value = self._random.gauss(mean, std)
+            if low <= value <= high:
+                return value
+        return min(max(mean, low), high)
+
+    def exponential(self, mean: float) -> float:
+        """Draw from an exponential distribution with the given *mean*."""
+        if mean <= 0:
+            raise ConfigurationError(f"exponential mean must be positive, got {mean}")
+        return self._random.expovariate(1.0 / mean)
+
+    def lognormal(self, mean: float, sigma: float = 1.0) -> float:
+        """Draw from a lognormal distribution with the given *linear* mean.
+
+        ``sigma`` is the shape parameter of the underlying normal; the
+        returned values have expectation ``mean``. Used for outage
+        durations, which the paper describes as high-variance.
+        """
+        if mean <= 0:
+            raise ConfigurationError(f"lognormal mean must be positive, got {mean}")
+        mu = math.log(mean) - 0.5 * sigma * sigma
+        return self._random.lognormvariate(mu, sigma)
+
+    def poisson(self, lam: float) -> int:
+        """Draw a Poisson-distributed count with mean ``lam``.
+
+        Uses Knuth's product method for small means and a normal
+        approximation for large ones (lam > 64), which is plenty for the
+        per-day counts this library needs.
+        """
+        if lam < 0:
+            raise ConfigurationError(f"poisson mean must be non-negative, got {lam}")
+        if lam == 0:
+            return 0
+        if lam > 64:
+            return max(0, int(round(self._random.gauss(lam, math.sqrt(lam)))))
+        threshold = math.exp(-lam)
+        k = 0
+        product = self._random.random()
+        while product > threshold:
+            k += 1
+            product *= self._random.random()
+        return k
+
+    def bernoulli(self, p: float) -> bool:
+        """Return True with probability ``p``."""
+        return self._random.random() < p
+
+    def integer_with_mean(self, mean: float, std: float) -> int:
+        """Draw a non-negative integer whose expectation is ``mean``.
+
+        Draws a truncated normal and resolves the fractional part with a
+        Bernoulli trial, so fractional means (e.g. the paper's user
+        frequency of 0.25 reads/day) are honoured in expectation.
+        """
+        value = max(0.0, self.normal(mean, std))
+        whole = int(value)
+        fraction = value - whole
+        if self.bernoulli(fraction):
+            whole += 1
+        return whole
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Pick one item uniformly."""
+        return self._random.choice(items)
+
+    def shuffle(self, items: List[T]) -> None:
+        """Shuffle a list in place."""
+        self._random.shuffle(items)
+
+    def sample(self, items: Sequence[T], k: int) -> List[T]:
+        """Pick ``k`` distinct items uniformly."""
+        return self._random.sample(items, k)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def poisson_process(self, rate: float, start: float, end: float) -> Iterator[float]:
+        """Yield event times of a Poisson process on ``[start, end)``.
+
+        ``rate`` is in events per second. Inter-arrival gaps are
+        exponential with mean ``1/rate``.
+        """
+        if rate < 0:
+            raise ConfigurationError(f"poisson_process rate must be non-negative, got {rate}")
+        if rate == 0:
+            return
+        t = start
+        mean_gap = 1.0 / rate
+        while True:
+            t += self.exponential(mean_gap)
+            if t >= end:
+                return
+            yield t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomSource(seed={self._seed})"

@@ -1,0 +1,168 @@
+"""Immutable pre-generated event traces for paired scenario runs.
+
+The paper computes *loss* by executing "two scenarios for each randomized
+set of discrete events" — the on-line baseline and the policy under test
+must see the exact same notification arrivals, user reads, and network
+outages. A :class:`Trace` captures one such randomized set; the
+experiment runner replays it into two independent simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import EventId, NetworkStatus
+
+
+@dataclass(frozen=True)
+class ArrivalRecord:
+    """One notification arriving at the proxy from the wired network."""
+
+    time: float
+    event_id: EventId
+    rank: float
+    #: Absolute expiration timestamp, or None if the notification never
+    #: expires. (The paper's ``event.expires`` is a relative lifetime;
+    #: we store the absolute deadline, which is what queues compare.)
+    expires_at: Optional[float] = None
+
+    @property
+    def lifetime(self) -> Optional[float]:
+        """Remaining lifetime at arrival (``expires_at - time``)."""
+        if self.expires_at is None:
+            return None
+        return self.expires_at - self.time
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One user-initiated read (the user checks messages)."""
+
+    time: float
+    #: Number of items the user wants to read — ``N`` in the paper's
+    #: READ() routine; normally the subscription's Max.
+    count: int
+
+
+@dataclass(frozen=True)
+class OutageRecord:
+    """One contiguous interval during which the last-hop link is down."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def contains(self, time: float) -> bool:
+        """Whether ``time`` falls inside the outage (half-open interval)."""
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class RankChangeRecord:
+    """A publisher-side rank update for a previously published event."""
+
+    time: float
+    event_id: EventId
+    new_rank: float
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One randomized set of discrete events, replayable into a simulator.
+
+    All record sequences are sorted by time. ``duration`` is the total
+    virtual length of the run; arrivals/reads/outages beyond it are
+    rejected by :meth:`validate`.
+    """
+
+    duration: float
+    arrivals: Tuple[ArrivalRecord, ...] = ()
+    reads: Tuple[ReadRecord, ...] = ()
+    outages: Tuple[OutageRecord, ...] = ()
+    rank_changes: Tuple[RankChangeRecord, ...] = ()
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on any malformed content."""
+        if self.duration <= 0:
+            raise ConfigurationError(f"trace duration must be positive, got {self.duration}")
+        self._check_sorted("arrivals", [a.time for a in self.arrivals])
+        self._check_sorted("reads", [r.time for r in self.reads])
+        self._check_sorted("outages", [o.start for o in self.outages])
+        self._check_sorted("rank_changes", [c.time for c in self.rank_changes])
+        seen: set = set()
+        for arrival in self.arrivals:
+            if arrival.event_id in seen:
+                raise ConfigurationError(f"duplicate event id {arrival.event_id} in trace")
+            seen.add(arrival.event_id)
+            if not 0.0 <= arrival.time <= self.duration:
+                raise ConfigurationError(f"arrival at t={arrival.time} outside trace duration")
+            if arrival.expires_at is not None and arrival.expires_at <= arrival.time:
+                raise ConfigurationError(
+                    f"event {arrival.event_id} expires at {arrival.expires_at} "
+                    f"before its arrival at {arrival.time}"
+                )
+        for read in self.reads:
+            if read.count < 0:
+                raise ConfigurationError(f"read at t={read.time} has negative count")
+            if not 0.0 <= read.time <= self.duration:
+                raise ConfigurationError(f"read at t={read.time} outside trace duration")
+        previous_end = 0.0
+        for outage in self.outages:
+            if outage.end <= outage.start:
+                raise ConfigurationError(
+                    f"outage [{outage.start}, {outage.end}] has non-positive duration"
+                )
+            if outage.start < previous_end:
+                raise ConfigurationError("outages overlap; merge them during generation")
+            previous_end = outage.end
+        known_ids = {a.event_id for a in self.arrivals}
+        for change in self.rank_changes:
+            if change.event_id not in known_ids:
+                raise ConfigurationError(
+                    f"rank change at t={change.time} references unknown event "
+                    f"{change.event_id}"
+                )
+
+    @staticmethod
+    def _check_sorted(label: str, times: List[float]) -> None:
+        for earlier, later in zip(times, times[1:]):
+            if later < earlier:
+                raise ConfigurationError(f"trace {label} are not sorted by time")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def downtime_fraction(self) -> float:
+        """Fraction of the run during which the link is down."""
+        if self.duration == 0:
+            return 0.0
+        down = sum(min(o.end, self.duration) - o.start for o in self.outages)
+        return down / self.duration
+
+    def network_transitions(self) -> Iterator[Tuple[float, NetworkStatus]]:
+        """Yield (time, status) link transitions implied by the outages.
+
+        The link starts UP at t=0 unless an outage starts there.
+        """
+        for outage in self.outages:
+            yield outage.start, NetworkStatus.DOWN
+            if outage.end < self.duration:
+                yield outage.end, NetworkStatus.UP
+
+    def link_is_up(self, time: float) -> bool:
+        """Whether the link is up at ``time`` (linear scan; tests only)."""
+        return not any(o.contains(time) for o in self.outages)
+
+    def describe(self) -> str:
+        """One-line human summary for logs and reports."""
+        return (
+            f"Trace({len(self.arrivals)} arrivals, {len(self.reads)} reads, "
+            f"{len(self.outages)} outages ({self.downtime_fraction():.0%} down), "
+            f"{len(self.rank_changes)} rank changes over {self.duration / 86400:.0f} days)"
+        )

@@ -1,0 +1,109 @@
+"""Trace serialization.
+
+Frozen traces are the unit of reproducibility in this library — a saved
+trace replays bit-for-bit under any policy on any machine. The format is
+plain JSON: self-describing, diffable, and safe to archive next to the
+numbers it produced.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import (
+    ArrivalRecord,
+    OutageRecord,
+    RankChangeRecord,
+    ReadRecord,
+    Trace,
+)
+from repro.types import EventId
+
+#: Format marker written into every file; bumped on breaking changes.
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    """Represent a trace as JSON-serializable primitives."""
+    return {
+        "format": FORMAT_VERSION,
+        "duration": trace.duration,
+        "metadata": dict(trace.metadata),
+        "arrivals": [
+            {
+                "time": a.time,
+                "event_id": int(a.event_id),
+                "rank": a.rank,
+                "expires_at": a.expires_at,
+            }
+            for a in trace.arrivals
+        ],
+        "reads": [{"time": r.time, "count": r.count} for r in trace.reads],
+        "outages": [{"start": o.start, "end": o.end} for o in trace.outages],
+        "rank_changes": [
+            {"time": c.time, "event_id": int(c.event_id), "new_rank": c.new_rank}
+            for c in trace.rank_changes
+        ],
+    }
+
+
+def trace_from_dict(data: dict) -> Trace:
+    """Rebuild a trace from :func:`trace_to_dict` output (validated)."""
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported trace format {version!r} (expected {FORMAT_VERSION})"
+        )
+    try:
+        trace = Trace(
+            duration=float(data["duration"]),
+            metadata=dict(data.get("metadata", {})),
+            arrivals=tuple(
+                ArrivalRecord(
+                    time=float(a["time"]),
+                    event_id=EventId(int(a["event_id"])),
+                    rank=float(a["rank"]),
+                    expires_at=None if a["expires_at"] is None else float(a["expires_at"]),
+                )
+                for a in data["arrivals"]
+            ),
+            reads=tuple(
+                ReadRecord(time=float(r["time"]), count=int(r["count"]))
+                for r in data["reads"]
+            ),
+            outages=tuple(
+                OutageRecord(start=float(o["start"]), end=float(o["end"]))
+                for o in data["outages"]
+            ),
+            rank_changes=tuple(
+                RankChangeRecord(
+                    time=float(c["time"]),
+                    event_id=EventId(int(c["event_id"])),
+                    new_rank=float(c["new_rank"]),
+                )
+                for c in data["rank_changes"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed trace data: {exc}") from exc
+    trace.validate()
+    return trace
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(trace)), encoding="utf-8")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace back from a JSON file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path} is not valid JSON: {exc}") from exc
+    return trace_from_dict(data)

@@ -1,0 +1,58 @@
+"""Time units and conversions used throughout the simulation.
+
+All simulation timestamps are floating-point *seconds*. These constants
+exist so that configuration code reads naturally (``32 / DAY`` is an
+arrival rate of 32 events per day) and so that magic numbers never appear
+in experiment definitions.
+"""
+
+from __future__ import annotations
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 60.0 * MINUTE
+DAY: float = 24.0 * HOUR
+WEEK: float = 7.0 * DAY
+YEAR: float = 365.0 * DAY
+
+#: The paper models users as awake for "the 16- to 17-hour period" of
+#: each day; the awake window length is drawn between these two bounds.
+AWAKE_HOURS_MIN: float = 16.0
+AWAKE_HOURS_MAX: float = 17.0
+
+
+def per_day(rate_per_day: float) -> float:
+    """Convert an events-per-day figure into an events-per-second rate."""
+    return rate_per_day / DAY
+
+
+def days(n: float) -> float:
+    """Return ``n`` days expressed in seconds."""
+    return n * DAY
+
+
+def hours(n: float) -> float:
+    """Return ``n`` hours expressed in seconds."""
+    return n * HOUR
+
+
+def minutes(n: float) -> float:
+    """Return ``n`` minutes expressed in seconds."""
+    return n * MINUTE
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the most natural unit, for reports.
+
+    >>> format_duration(90)
+    '1.5 min'
+    >>> format_duration(491520)
+    '5.7 days'
+    """
+    if seconds < MINUTE:
+        return f"{seconds:.0f} s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f} min"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.1f} hrs"
+    return f"{seconds / DAY:.1f} days"

@@ -1,0 +1,36 @@
+"""Workload generation: the three event types the paper's simulator is
+populated with (Section 3), plus rank-change events (Section 3.4).
+
+* :mod:`~repro.workload.arrivals` — Poisson notification arrivals with
+  rank and (optionally) expiration annotations.
+* :mod:`~repro.workload.reads` — user reads, a per-day count drawn from a
+  normal distribution and placed inside a jittered 16–17 h awake window.
+* :mod:`~repro.workload.outages` — network outages with configurable
+  cumulative downtime between 0 and 100 %.
+* :mod:`~repro.workload.ranks` — rank distributions and rank-change
+  (retraction/boost) event generation.
+* :mod:`~repro.workload.scenario` — :class:`ScenarioConfig` tying it all
+  together and :func:`build_trace` producing a replayable
+  :class:`~repro.sim.trace.Trace`.
+"""
+
+from repro.workload.arrivals import ArrivalConfig, ExpirationDistribution, generate_arrivals
+from repro.workload.outages import OutageConfig, generate_outages
+from repro.workload.ranks import RankChangeConfig, RankDistribution, generate_rank_changes
+from repro.workload.reads import ReadConfig, generate_reads
+from repro.workload.scenario import ScenarioConfig, build_trace
+
+__all__ = [
+    "ArrivalConfig",
+    "ExpirationDistribution",
+    "OutageConfig",
+    "RankChangeConfig",
+    "RankDistribution",
+    "ReadConfig",
+    "ScenarioConfig",
+    "build_trace",
+    "generate_arrivals",
+    "generate_outages",
+    "generate_rank_changes",
+    "generate_reads",
+]

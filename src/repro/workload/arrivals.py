@@ -1,0 +1,119 @@
+"""Notification arrival generation.
+
+The paper: "Events on a topic arrive a certain number of times per day
+(event frequency), according to a Poisson distribution. Optionally, a
+portion of the events can be configured to expire within expiration
+time, according to a desired distribution (exponential, uniform,
+normal)."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+from repro.sim.trace import ArrivalRecord
+from repro.types import EventId
+from repro.units import DAY
+from repro.workload.ranks import RankDistribution
+
+
+class ExpirationDistribution(enum.Enum):
+    """Shape of the notification-lifetime distribution."""
+
+    EXPONENTIAL = "exponential"
+    UNIFORM = "uniform"
+    NORMAL = "normal"
+    FIXED = "fixed"
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Parameters of the notification arrival process.
+
+    ``events_per_day`` is the paper's *event frequency*. With
+    ``expiring_fraction`` > 0, that portion of notifications receives a
+    lifetime drawn from ``expiration_distribution`` with mean
+    ``expiration_mean`` seconds.
+    """
+
+    events_per_day: float = 32.0
+    rank: RankDistribution = RankDistribution()
+    expiring_fraction: float = 0.0
+    expiration_mean: float = DAY
+    expiration_distribution: ExpirationDistribution = ExpirationDistribution.EXPONENTIAL
+    #: Spread parameter: std for NORMAL, half-width factor for UNIFORM
+    #: (lifetimes drawn from mean * [1-spread, 1+spread]).
+    expiration_spread: float = 0.5
+
+    def validate(self) -> None:
+        if self.events_per_day < 0:
+            raise ConfigurationError(
+                f"events_per_day must be non-negative, got {self.events_per_day}"
+            )
+        if not 0.0 <= self.expiring_fraction <= 1.0:
+            raise ConfigurationError(
+                f"expiring_fraction must be within [0, 1], got {self.expiring_fraction}"
+            )
+        if self.expiring_fraction > 0 and self.expiration_mean <= 0:
+            raise ConfigurationError(
+                f"expiration_mean must be positive, got {self.expiration_mean}"
+            )
+        if not 0.0 <= self.expiration_spread <= 1.0:
+            raise ConfigurationError(
+                f"expiration_spread must be within [0, 1], got {self.expiration_spread}"
+            )
+        self.rank.validate()
+
+
+def _draw_lifetime(config: ArrivalConfig, rng: RandomSource) -> float:
+    """Draw one notification lifetime in seconds (always positive)."""
+    mean = config.expiration_mean
+    dist = config.expiration_distribution
+    if dist is ExpirationDistribution.FIXED:
+        return mean
+    if dist is ExpirationDistribution.EXPONENTIAL:
+        return rng.exponential(mean)
+    if dist is ExpirationDistribution.UNIFORM:
+        half = config.expiration_spread * mean
+        return rng.uniform(max(1e-9, mean - half), mean + half)
+    # NORMAL: truncate at a tiny positive lifetime.
+    return rng.truncated_normal(
+        mean, config.expiration_spread * mean, low=1e-9, high=mean * 10.0
+    )
+
+
+def generate_arrivals(
+    config: ArrivalConfig,
+    duration: float,
+    rng: RandomSource,
+    first_event_id: int = 0,
+) -> List[ArrivalRecord]:
+    """Generate the arrival records for one trace.
+
+    Event ids are assigned sequentially starting at ``first_event_id`` so
+    that multiple topics in one trace can share an id space.
+    """
+    config.validate()
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    time_rng = rng.spawn("arrival-times")
+    rank_rng = rng.spawn("arrival-ranks")
+    expiry_rng = rng.spawn("arrival-expirations")
+
+    arrivals: List[ArrivalRecord] = []
+    next_id = first_event_id
+    rate = config.events_per_day / DAY
+    for t in time_rng.poisson_process(rate, 0.0, duration):
+        rank = config.rank.draw(rank_rng)
+        expires_at: Optional[float] = None
+        if config.expiring_fraction > 0 and expiry_rng.bernoulli(config.expiring_fraction):
+            expires_at = t + _draw_lifetime(config, expiry_rng)
+        arrivals.append(
+            ArrivalRecord(time=t, event_id=EventId(next_id), rank=rank, expires_at=expires_at)
+        )
+        next_id += 1
+    return arrivals

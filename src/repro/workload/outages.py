@@ -1,0 +1,142 @@
+"""Network outage generation.
+
+The paper: "The network link goes down with a configurable frequency
+(Poisson distribution with high variance) and can be specified to last
+long enough for cumulative network downtime of anywhere between 0 to
+100%. Note that we view periods of unacceptably slow network performance
+as outages, so high outage percentages can represent users who are
+mainly on a slow but functioning link."
+
+We model the link as an alternating renewal process: up-periods are
+exponential, down-periods are lognormal (high variance), with means
+chosen so that the expected cumulative downtime matches the configured
+fraction. An optional normalization pass rescales the generated
+down-periods so the realized fraction matches the target closely, which
+keeps the x-axis of Figure 2 tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+from repro.sim.trace import OutageRecord
+from repro.units import DAY
+
+
+@dataclass(frozen=True)
+class OutageConfig:
+    """Parameters of the outage process.
+
+    ``downtime_fraction`` is the target cumulative downtime in [0, 1].
+    ``outages_per_day`` controls granularity: how many down-periods the
+    downtime is spread across. ``duration_sigma`` is the lognormal shape
+    of down-period lengths (higher = burstier). With ``normalize`` the
+    realized fraction is rescaled towards the target.
+    """
+
+    downtime_fraction: float = 0.0
+    outages_per_day: float = 1.0
+    duration_sigma: float = 1.0
+    normalize: bool = True
+
+    def validate(self) -> None:
+        if not 0.0 <= self.downtime_fraction <= 1.0:
+            raise ConfigurationError(
+                f"downtime_fraction must be within [0, 1], got {self.downtime_fraction}"
+            )
+        if self.outages_per_day <= 0:
+            raise ConfigurationError(
+                f"outages_per_day must be positive, got {self.outages_per_day}"
+            )
+        if self.duration_sigma < 0:
+            raise ConfigurationError(
+                f"duration_sigma must be non-negative, got {self.duration_sigma}"
+            )
+
+
+def _merge(outages: List[OutageRecord]) -> List[OutageRecord]:
+    """Merge overlapping or touching outage intervals."""
+    merged: List[OutageRecord] = []
+    for outage in sorted(outages, key=lambda o: o.start):
+        if merged and outage.start <= merged[-1].end:
+            last = merged[-1]
+            merged[-1] = OutageRecord(start=last.start, end=max(last.end, outage.end))
+        else:
+            merged.append(outage)
+    return merged
+
+
+def _total_downtime(outages: List[OutageRecord]) -> float:
+    return sum(o.duration for o in outages)
+
+
+def _rescale(
+    outages: List[OutageRecord], target_downtime: float, duration: float
+) -> List[OutageRecord]:
+    """Scale outage durations about their starts to hit the target downtime.
+
+    Scaling up can create overlaps, which merging collapses (reducing the
+    total again), so a couple of correction passes are applied. The result
+    is close to the target rather than exact — matching the stochastic
+    spirit of the paper's simulator.
+    """
+    current = outages
+    for _ in range(4):
+        achieved = _total_downtime(current)
+        if achieved <= 0:
+            return current
+        factor = target_downtime / achieved
+        if abs(factor - 1.0) < 0.005:
+            break
+        scaled = [
+            OutageRecord(start=o.start, end=min(duration, o.start + o.duration * factor))
+            for o in current
+        ]
+        current = _merge([o for o in scaled if o.end > o.start])
+    return current
+
+
+def generate_outages(
+    config: OutageConfig,
+    duration: float,
+    rng: RandomSource,
+) -> List[OutageRecord]:
+    """Generate the outage intervals for one trace.
+
+    A downtime fraction of 0 yields no outages; a fraction of 1 yields a
+    single outage spanning the entire run (the device never hears from
+    the proxy, matching the paper's "point of no connectivity").
+    """
+    config.validate()
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    if config.downtime_fraction == 0.0:
+        return []
+    if config.downtime_fraction >= 1.0:
+        return [OutageRecord(start=0.0, end=duration)]
+
+    cycle = DAY / config.outages_per_day
+    mean_down = config.downtime_fraction * cycle
+    mean_up = (1.0 - config.downtime_fraction) * cycle
+    up_rng = rng.spawn("outage-up")
+    down_rng = rng.spawn("outage-down")
+
+    outages: List[OutageRecord] = []
+    t = up_rng.exponential(mean_up)
+    while t < duration:
+        if config.duration_sigma > 0:
+            down = down_rng.lognormal(mean_down, config.duration_sigma)
+        else:
+            down = mean_down
+        end = min(duration, t + down)
+        if end > t:  # guard against float underflow at tiny fractions
+            outages.append(OutageRecord(start=t, end=end))
+        t = end + up_rng.exponential(mean_up)
+
+    outages = _merge(outages)
+    if config.normalize:
+        outages = _rescale(outages, config.downtime_fraction * duration, duration)
+    return outages

@@ -1,0 +1,126 @@
+"""Rank distributions and rank-change events.
+
+Ranks indicate "a notification's importance in relation to other
+notifications on its topic" (paper §2.1). The paper's Slashdot example
+uses a 0–5 scale, which is our default.
+
+Section 3.4 additionally allows the rank of a notification to *change*
+over time — a negative change retracts messages of malicious users, a
+positive one boosts popular messages. :func:`generate_rank_changes`
+produces such events for a configurable fraction of arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+from repro.sim.trace import ArrivalRecord, RankChangeRecord
+from repro.units import HOUR
+
+#: The maximum rank on the paper's example scale ("4.5 out of 5 maximum").
+MAX_RANK: float = 5.0
+
+
+@dataclass(frozen=True)
+class RankDistribution:
+    """Uniform rank distribution over ``[low, high)``.
+
+    A uniform rank spread is what makes "the highest-ranked N" a
+    meaningful selection under overflow; experiments that do not care
+    about ranks use the full default spread with threshold 0.
+    """
+
+    low: float = 0.0
+    high: float = MAX_RANK
+
+    def validate(self) -> None:
+        if self.low >= self.high:
+            raise ConfigurationError(f"rank range reversed: [{self.low}, {self.high})")
+
+    def draw(self, rng: RandomSource) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class RankChangeConfig:
+    """Parameters of the rank-change (retraction/boost) process.
+
+    ``drop_fraction`` of notifications are later demoted to a rank drawn
+    uniformly from ``[drop_to_low, drop_to_high)`` — typically below the
+    subscriber's threshold, modelling retraction of junk. A further
+    ``boost_fraction`` are promoted by ``boost_amount``. Delays until the
+    change are exponential with mean ``change_delay_mean`` ("assuming
+    that bad messages are detected quickly").
+    """
+
+    drop_fraction: float = 0.0
+    drop_to_low: float = 0.0
+    drop_to_high: float = 1.0
+    boost_fraction: float = 0.0
+    boost_amount: float = 1.0
+    change_delay_mean: float = HOUR
+
+    def validate(self) -> None:
+        for name, fraction in (
+            ("drop_fraction", self.drop_fraction),
+            ("boost_fraction", self.boost_fraction),
+        ):
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigurationError(f"{name} must be within [0, 1], got {fraction}")
+        if self.drop_fraction + self.boost_fraction > 1.0:
+            raise ConfigurationError("drop_fraction + boost_fraction exceed 1.0")
+        if self.drop_to_low >= self.drop_to_high:
+            raise ConfigurationError(
+                f"drop range reversed: [{self.drop_to_low}, {self.drop_to_high})"
+            )
+        if self.change_delay_mean <= 0:
+            raise ConfigurationError(
+                f"change_delay_mean must be positive, got {self.change_delay_mean}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.drop_fraction > 0 or self.boost_fraction > 0
+
+
+def generate_rank_changes(
+    config: RankChangeConfig,
+    arrivals: Sequence[ArrivalRecord],
+    duration: float,
+    rng: RandomSource,
+) -> List[RankChangeRecord]:
+    """Generate rank-change records for a set of arrivals.
+
+    Each arrival is independently demoted (with probability
+    ``drop_fraction``) or boosted (with probability ``boost_fraction``)
+    at an exponentially distributed delay after its publication. Changes
+    falling beyond the trace duration are discarded — they would never
+    be observed.
+    """
+    config.validate()
+    if not config.enabled:
+        return []
+    pick_rng = rng.spawn("rank-change-pick")
+    delay_rng = rng.spawn("rank-change-delay")
+    value_rng = rng.spawn("rank-change-value")
+
+    changes: List[RankChangeRecord] = []
+    for arrival in arrivals:
+        roll = pick_rng.uniform(0.0, 1.0)
+        if roll < config.drop_fraction:
+            new_rank = value_rng.uniform(config.drop_to_low, config.drop_to_high)
+        elif roll < config.drop_fraction + config.boost_fraction:
+            new_rank = min(MAX_RANK, arrival.rank + config.boost_amount)
+        else:
+            continue
+        change_time = arrival.time + delay_rng.exponential(config.change_delay_mean)
+        if change_time >= duration:
+            continue
+        changes.append(
+            RankChangeRecord(time=change_time, event_id=arrival.event_id, new_rank=new_rank)
+        )
+    changes.sort(key=lambda record: record.time)
+    return changes

@@ -1,0 +1,103 @@
+"""User read schedule generation.
+
+The paper: "The user checks for new messages a certain number of times
+per day chosen from a normal distribution (user frequency), which are
+distributed randomly throughout the 16- to 17-hour period, also slightly
+randomized, that the user is awake."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+from repro.sim.trace import ReadRecord
+from repro.units import AWAKE_HOURS_MAX, AWAKE_HOURS_MIN, DAY, HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class ReadConfig:
+    """Parameters of the user read process.
+
+    ``reads_per_day`` is the paper's *user frequency*; fractional values
+    (e.g. 0.25 — one read every four days) are honoured in expectation.
+    ``read_count`` is the number of items requested per read, normally
+    the subscription's Max.
+    """
+
+    reads_per_day: float = 2.0
+    read_count: int = 8
+    #: Relative std of the daily read-count normal distribution.
+    daily_std_fraction: float = 0.25
+    #: Nominal wake-up hour (local time within the virtual day).
+    wake_hour: float = 7.0
+    #: Std of the daily wake-up jitter, seconds.
+    wake_jitter_std: float = 30.0 * MINUTE
+
+    def validate(self) -> None:
+        if self.reads_per_day < 0:
+            raise ConfigurationError(
+                f"reads_per_day must be non-negative, got {self.reads_per_day}"
+            )
+        if self.read_count < 1:
+            raise ConfigurationError(f"read_count must be at least 1, got {self.read_count}")
+        if self.daily_std_fraction < 0:
+            raise ConfigurationError(
+                f"daily_std_fraction must be non-negative, got {self.daily_std_fraction}"
+            )
+        if not 0.0 <= self.wake_hour < 24.0:
+            raise ConfigurationError(f"wake_hour must be within [0, 24), got {self.wake_hour}")
+        if self.wake_jitter_std < 0:
+            raise ConfigurationError(
+                f"wake_jitter_std must be non-negative, got {self.wake_jitter_std}"
+            )
+
+    @property
+    def mean_read_interval(self) -> float:
+        """Average seconds between reads (∞-safe only for positive rates)."""
+        if self.reads_per_day <= 0:
+            return math.inf
+        return DAY / self.reads_per_day
+
+
+def generate_reads(
+    config: ReadConfig,
+    duration: float,
+    rng: RandomSource,
+) -> List[ReadRecord]:
+    """Generate the user read schedule for one trace.
+
+    For every virtual day, a read count is drawn from a truncated normal
+    around ``reads_per_day`` (fractional part resolved by a Bernoulli
+    trial so means below one work); read times are uniform inside that
+    day's awake window, whose start is jittered and whose length is
+    drawn between 16 and 17 hours.
+    """
+    config.validate()
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    count_rng = rng.spawn("read-counts")
+    time_rng = rng.spawn("read-times")
+
+    reads: List[ReadRecord] = []
+    n_days = int(math.ceil(duration / DAY))
+    std = config.daily_std_fraction * config.reads_per_day
+    for day in range(n_days):
+        day_start = day * DAY
+        count = count_rng.integer_with_mean(config.reads_per_day, std)
+        if count == 0:
+            continue
+        wake = (
+            day_start
+            + config.wake_hour * HOUR
+            + time_rng.normal(0.0, config.wake_jitter_std)
+        )
+        awake_length = time_rng.uniform(AWAKE_HOURS_MIN * HOUR, AWAKE_HOURS_MAX * HOUR)
+        times = sorted(time_rng.uniform(wake, wake + awake_length) for _ in range(count))
+        for t in times:
+            if 0.0 <= t < duration:
+                reads.append(ReadRecord(time=t, count=config.read_count))
+    return reads

@@ -1,0 +1,164 @@
+"""Unit tests for broker nodes and the routing overlay."""
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.broker.message import Notification
+from repro.broker.overlay import BrokerOverlay
+from repro.broker.subscriptions import Subscription
+from repro.broker.topics import TopicDescriptor
+from repro.errors import RoutingError, SubscriptionError, UnknownTopicError
+from repro.sim.engine import Simulator
+from repro.types import EventId, NodeId, TopicId
+
+
+@pytest.fixture
+def overlay():
+    sim = Simulator()
+    overlay = BrokerOverlay(sim)
+    for name in ("a", "b", "c"):
+        overlay.add_broker(NodeId(name))
+    overlay.connect(NodeId("a"), NodeId("b"), latency=0.010)
+    overlay.connect(NodeId("b"), NodeId("c"), latency=0.020)
+    overlay.registry.advertise(
+        TopicDescriptor(topic=TopicId("news"), publisher=NodeId("pub"))
+    )
+    return sim, overlay
+
+
+def subscribe(overlay, broker_name, received, subscriber="dev"):
+    broker = overlay.broker(NodeId(broker_name))
+    subscription = Subscription(subscriber=NodeId(subscriber), topic=TopicId("news"))
+    broker.subscribe(subscription, lambda n, s: received.append((n, s)))
+    return subscription
+
+
+def publish(sim, overlay, origin="a", event_id=1, rank=1.0):
+    notification = Notification(
+        event_id=EventId(event_id),
+        topic=TopicId("news"),
+        rank=rank,
+        published_at=sim.now,
+    )
+    overlay.broker(NodeId(origin)).publish(notification)
+    return notification
+
+
+class TestTopology:
+    def test_duplicate_broker_rejected(self, overlay):
+        _, net = overlay
+        with pytest.raises(RoutingError):
+            net.add_broker(NodeId("a"))
+
+    def test_connect_unknown_broker_rejected(self, overlay):
+        _, net = overlay
+        with pytest.raises(RoutingError):
+            net.connect(NodeId("a"), NodeId("zzz"))
+
+    def test_negative_latency_rejected(self, overlay):
+        _, net = overlay
+        with pytest.raises(RoutingError):
+            net.connect(NodeId("a"), NodeId("c"), latency=-1.0)
+
+    def test_latency_is_shortest_path(self, overlay):
+        _, net = overlay
+        assert net.latency_between(NodeId("a"), NodeId("c")) == pytest.approx(0.030)
+        assert net.latency_between(NodeId("a"), NodeId("a")) == 0.0
+
+    def test_no_route_raises(self, overlay):
+        _, net = overlay
+        net.add_broker(NodeId("island"))
+        with pytest.raises(RoutingError):
+            net.latency_between(NodeId("a"), NodeId("island"))
+
+    def test_unknown_broker_lookup_raises(self, overlay):
+        _, net = overlay
+        with pytest.raises(RoutingError):
+            net.broker(NodeId("zzz"))
+
+
+class TestRouting:
+    def test_delivery_to_remote_subscriber_after_latency(self, overlay):
+        sim, net = overlay
+        received = []
+        subscribe(net, "c", received)
+        publish(sim, net, origin="a")
+        assert received == []  # in flight
+        sim.run()
+        assert len(received) == 1
+        assert sim.now == pytest.approx(0.030)
+
+    def test_delivery_to_multiple_brokers(self, overlay):
+        sim, net = overlay
+        received_b, received_c = [], []
+        subscribe(net, "b", received_b, subscriber="dev-b")
+        subscribe(net, "c", received_c, subscriber="dev-c")
+        publish(sim, net, origin="a")
+        sim.run()
+        assert len(received_b) == 1
+        assert len(received_c) == 1
+
+    def test_no_interested_brokers_no_delivery(self, overlay):
+        sim, net = overlay
+        publish(sim, net)
+        sim.run()
+        assert net.routed_count == 0
+
+    def test_local_subscriber_gets_synchronous_zero_latency_delivery(self, overlay):
+        sim, net = overlay
+        received = []
+        subscribe(net, "a", received)
+        publish(sim, net, origin="a")
+        sim.run()
+        assert len(received) == 1
+        assert sim.now == 0.0
+
+    def test_multiple_subscriptions_same_broker_each_served(self, overlay):
+        sim, net = overlay
+        received = []
+        subscribe(net, "b", received, subscriber="dev-1")
+        subscribe(net, "b", received, subscriber="dev-2")
+        publish(sim, net)
+        sim.run()
+        assert len(received) == 2
+        assert net.broker(NodeId("b")).delivered_count == 2
+
+
+class TestSubscriptionManagement:
+    def test_subscribe_unknown_topic_rejected(self, overlay):
+        _, net = overlay
+        broker = net.broker(NodeId("a"))
+        subscription = Subscription(subscriber=NodeId("dev"), topic=TopicId("nope"))
+        with pytest.raises(UnknownTopicError):
+            broker.subscribe(subscription, lambda n, s: None)
+
+    def test_duplicate_subscription_rejected(self, overlay):
+        _, net = overlay
+        broker = net.broker(NodeId("a"))
+        subscription = Subscription(subscriber=NodeId("dev"), topic=TopicId("news"))
+        broker.subscribe(subscription, lambda n, s: None)
+        with pytest.raises(SubscriptionError):
+            broker.subscribe(subscription, lambda n, s: None)
+
+    def test_unsubscribe_stops_delivery(self, overlay):
+        sim, net = overlay
+        received = []
+        subscription = subscribe(net, "b", received)
+        net.broker(NodeId("b")).unsubscribe(subscription)
+        publish(sim, net)
+        sim.run()
+        assert received == []
+        assert net.interested_brokers(TopicId("news")) == set()
+
+    def test_unsubscribe_unknown_rejected(self, overlay):
+        _, net = overlay
+        subscription = Subscription(subscriber=NodeId("dev"), topic=TopicId("news"))
+        with pytest.raises(SubscriptionError):
+            net.broker(NodeId("b")).unsubscribe(subscription)
+
+    def test_interested_brokers_tracks_subscriptions(self, overlay):
+        _, net = overlay
+        received = []
+        subscribe(net, "b", received, subscriber="dev-1")
+        subscribe(net, "c", received, subscriber="dev-2")
+        assert net.interested_brokers(TopicId("news")) == {"b", "c"}

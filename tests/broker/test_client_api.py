@@ -1,0 +1,135 @@
+"""Unit tests for the publisher/subscriber handles."""
+
+import pytest
+
+from repro.broker.client_api import Publisher, Subscriber
+from repro.broker.overlay import BrokerOverlay
+from repro.errors import ConfigurationError, SubscriptionError
+from repro.sim.engine import Simulator
+from repro.types import EventId, NodeId, TopicType
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    overlay = BrokerOverlay(sim)
+    broker = overlay.add_broker(NodeId("hub"))
+    publisher = Publisher(NodeId("met.no"), broker, sim)
+    subscriber = Subscriber(NodeId("phone"), broker)
+    return sim, overlay, publisher, subscriber
+
+
+class TestPublish:
+    def test_publish_requires_advertisement(self, world):
+        _sim, _net, publisher, _sub = world
+        with pytest.raises(Exception):
+            publisher.publish("news/weather", rank=1.0)
+
+    def test_publish_carries_rank_and_expiration(self, world):
+        sim, _net, publisher, subscriber = world
+        publisher.advertise("news/weather")
+        received = []
+        subscriber.subscribe("news/weather", lambda n, s: received.append(n))
+        notification = publisher.publish(
+            "news/weather", rank=4.8, expires_in=3600.0, payload="storm"
+        )
+        sim.run()
+        assert received == [notification]
+        assert received[0].rank == 4.8
+        assert received[0].expires_at == pytest.approx(3600.0)
+        assert received[0].payload == "storm"
+
+    def test_publish_on_foreign_topic_rejected(self, world):
+        sim, net, publisher, _sub = world
+        other = Publisher(NodeId("rival"), net.broker(NodeId("hub")), sim)
+        other.advertise("rival/topic")
+        with pytest.raises(SubscriptionError):
+            publisher.publish("rival/topic")
+
+    def test_non_positive_expiry_rejected(self, world):
+        _sim, _net, publisher, _sub = world
+        publisher.advertise("news/weather")
+        with pytest.raises(ConfigurationError):
+            publisher.publish("news/weather", expires_in=0.0)
+
+    def test_event_ids_unique(self, world):
+        _sim, _net, publisher, _sub = world
+        publisher.advertise("news/weather")
+        a = publisher.publish("news/weather")
+        b = publisher.publish("news/weather")
+        assert a.event_id != b.event_id
+
+
+class TestRankChange:
+    def test_change_rank_reaches_subscribers_with_same_id(self, world):
+        sim, _net, publisher, subscriber = world
+        publisher.advertise("news/weather")
+        received = []
+        subscriber.subscribe("news/weather", lambda n, s: received.append(n))
+        original = publisher.publish("news/weather", rank=4.0)
+        publisher.change_rank(original.event_id, 0.5)
+        sim.run()
+        assert len(received) == 2
+        assert received[1].event_id == original.event_id
+        assert received[1].rank == 0.5
+        assert received[1].original_rank == 4.0
+
+    def test_change_rank_of_unknown_event_rejected(self, world):
+        _sim, _net, publisher, _sub = world
+        publisher.advertise("news/weather")
+        with pytest.raises(SubscriptionError):
+            publisher.change_rank(EventId(999), 1.0)
+
+
+class TestSubscriberHandle:
+    def test_subscribe_with_limits(self, world):
+        _sim, _net, publisher, subscriber = world
+        publisher.advertise("slashdot")
+        subscription = subscriber.subscribe(
+            "slashdot", lambda n, s: None, max_per_read=30, threshold=4.5,
+            mode=TopicType.ON_DEMAND,
+        )
+        assert subscription.max_per_read == 30
+        assert subscription.threshold == 4.5
+        assert subscriber.subscriptions == [subscription]
+
+    def test_subscribe_with_params_instantiates_template(self, world):
+        _sim, _net, publisher, subscriber = world
+        publisher.advertise("news/traffic/tromso")
+        subscription = subscriber.subscribe(
+            "news/traffic/{city}", lambda n, s: None, city="tromso"
+        )
+        assert subscription.topic == "news/traffic/tromso"
+
+    def test_unsubscribe_foreign_subscription_rejected(self, world):
+        _sim, _net, publisher, subscriber = world
+        publisher.advertise("news/weather")
+        other = Subscriber(NodeId("tablet"), subscriber._broker)
+        subscription = other.subscribe("news/weather", lambda n, s: None)
+        with pytest.raises(SubscriptionError):
+            subscriber.unsubscribe(subscription)
+
+    def test_resubscribe_moves_to_new_parameter(self, world):
+        sim, _net, publisher, subscriber = world
+        publisher.advertise("news/traffic/tromso")
+        publisher.advertise("news/traffic/oslo")
+        received = []
+        callback = lambda n, s: received.append(n.topic)  # noqa: E731
+        subscription = subscriber.subscribe_template(
+            "news/traffic/{city}", callback, city="tromso"
+        )
+        publisher.publish("news/traffic/tromso")
+        sim.run()  # drain the in-flight delivery before moving
+        moved = subscriber.resubscribe(subscription, callback, city="oslo")
+        publisher.publish("news/traffic/tromso")
+        publisher.publish("news/traffic/oslo")
+        sim.run()
+        assert received == ["news/traffic/tromso", "news/traffic/oslo"]
+        assert moved.topic == "news/traffic/oslo"
+
+    def test_resubscribe_requires_template(self, world):
+        _sim, _net, publisher, subscriber = world
+        publisher.advertise("news/weather")
+        subscription = subscriber.subscribe("news/weather", lambda n, s: None)
+        with pytest.raises(SubscriptionError):
+            subscriber.resubscribe(subscription, lambda n, s: None, city="oslo")

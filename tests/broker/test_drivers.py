@@ -1,0 +1,119 @@
+"""Unit tests for the publisher drivers."""
+
+import pytest
+
+from repro.broker.client_api import Publisher, Subscriber
+from repro.broker.drivers import PoissonPublisher, TracePublisher
+from repro.broker.overlay import BrokerOverlay
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+from repro.types import NodeId
+from repro.units import DAY
+from repro.workload.arrivals import ArrivalConfig
+from repro.workload.diurnal import DiurnalProfile, hourly_histogram
+from repro.workload.ranks import RankChangeConfig
+from repro.workload.scenario import build_trace
+
+from tests.conftest import make_config
+
+TOPIC = "drivers/topic"
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    overlay = BrokerOverlay(sim)
+    broker = overlay.add_broker(NodeId("hub"))
+    publisher = Publisher(NodeId("pub"), broker, sim)
+    publisher.advertise(TOPIC)
+    received = []
+    Subscriber(NodeId("sub"), broker).subscribe(
+        TOPIC, lambda n, _s: received.append(n)
+    )
+    return sim, publisher, received
+
+
+class TestTracePublisher:
+    def test_replays_all_arrivals_with_identities(self, world):
+        sim, publisher, received = world
+        trace = build_trace(make_config(days=5.0), seed=1)
+        driver = TracePublisher(sim, publisher, TOPIC, trace)
+        sim.run(until=trace.duration)
+        assert driver.published == len(trace.arrivals)
+        assert [n.event_id for n in received] == [
+            a.event_id for a in trace.arrivals
+        ]
+        assert [n.rank for n in received] == [a.rank for a in trace.arrivals]
+
+    def test_replays_rank_changes(self, world):
+        import dataclasses
+
+        sim, publisher, received = world
+        config = dataclasses.replace(
+            make_config(days=5.0),
+            rank_changes=RankChangeConfig(drop_fraction=0.5),
+        )
+        trace = build_trace(config, seed=2)
+        assert trace.rank_changes
+        driver = TracePublisher(sim, publisher, TOPIC, trace)
+        sim.run(until=trace.duration)
+        assert driver.changes_sent == len(trace.rank_changes)
+        assert len(received) == len(trace.arrivals) + len(trace.rank_changes)
+
+
+class TestPoissonPublisher:
+    def test_live_rate(self, world):
+        sim, publisher, received = world
+        PoissonPublisher(
+            sim, publisher, TOPIC,
+            ArrivalConfig(events_per_day=24.0), RandomSource(3),
+        )
+        sim.run(until=50 * DAY)
+        assert len(received) == pytest.approx(1200, rel=0.1)
+
+    def test_stop_halts_publishing(self, world):
+        sim, publisher, received = world
+        driver = PoissonPublisher(
+            sim, publisher, TOPIC,
+            ArrivalConfig(events_per_day=24.0), RandomSource(3),
+        )
+        sim.run(until=2 * DAY)
+        count = len(received)
+        driver.stop()
+        sim.run(until=10 * DAY)
+        assert len(received) == count
+
+    def test_diurnal_profile_shapes_live_traffic(self, world):
+        sim, publisher, received = world
+        PoissonPublisher(
+            sim, publisher, TOPIC,
+            ArrivalConfig(events_per_day=48.0), RandomSource(4),
+            profile=DiurnalProfile.rush_hours(),
+        )
+        sim.run(until=100 * DAY)
+        records = [
+            type("A", (), {"time": n.published_at})() for n in received
+        ]
+        histogram = hourly_histogram(records)
+        assert histogram[8] > 3 * histogram[3]
+
+    def test_expirations_attached(self, world):
+        sim, publisher, received = world
+        PoissonPublisher(
+            sim, publisher, TOPIC,
+            ArrivalConfig(events_per_day=24.0, expiring_fraction=1.0,
+                          expiration_mean=3600.0),
+            RandomSource(5),
+        )
+        sim.run(until=5 * DAY)
+        assert received
+        assert all(n.expires_at is not None for n in received)
+
+    def test_zero_rate_rejected(self, world):
+        sim, publisher, _received = world
+        with pytest.raises(ConfigurationError):
+            PoissonPublisher(
+                sim, publisher, TOPIC,
+                ArrivalConfig(events_per_day=0.0), RandomSource(6),
+            )

@@ -1,0 +1,59 @@
+"""Unit tests for subscriptions and their volume limits."""
+
+import pytest
+
+from repro.broker.subscriptions import UNLIMITED, Subscription
+from repro.errors import ConfigurationError
+from repro.types import NodeId, TopicId, TopicType
+
+
+def make(**kwargs):
+    defaults = dict(
+        subscriber=NodeId("phone-1"),
+        topic=TopicId("news/weather"),
+    )
+    defaults.update(kwargs)
+    return Subscription(**defaults)
+
+
+class TestLimits:
+    def test_defaults(self):
+        sub = make()
+        sub.validate()
+        assert sub.max_per_read == 8
+        assert sub.threshold == 0.0
+        assert sub.mode is TopicType.ON_DEMAND
+
+    def test_accepts_applies_threshold(self):
+        sub = make(threshold=4.5)
+        assert sub.accepts(4.5)
+        assert sub.accepts(5.0)
+        assert not sub.accepts(4.49)
+
+    def test_zero_max_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(max_per_read=0).validate()
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(threshold=-1.0).validate()
+
+
+class TestIdentityAndParams:
+    def test_ids_are_unique(self):
+        assert make().subscription_id != make().subscription_id
+
+    def test_with_params_gets_new_id_and_merged_params(self):
+        sub = make(params={"city": "tromso"})
+        updated = sub.with_params(city="oslo")
+        assert updated.params["city"] == "oslo"
+        assert updated.subscription_id != sub.subscription_id
+        assert updated.topic == sub.topic
+
+    def test_describe_mentions_limits(self):
+        text = make(max_per_read=30, threshold=4.5).describe()
+        assert "Max=30" in text
+        assert "4.5" in text
+
+    def test_describe_unlimited(self):
+        assert "Max=∞" in make(max_per_read=UNLIMITED).describe()

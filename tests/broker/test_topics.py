@@ -1,0 +1,85 @@
+"""Unit tests for the topic registry."""
+
+import pytest
+
+from repro.broker.topics import TopicDescriptor, TopicRegistry, parameterize
+from repro.errors import SubscriptionError, UnknownTopicError
+from repro.types import NodeId, TopicId
+
+
+def descriptor(topic="news/weather", publisher="met.no", **kwargs):
+    return TopicDescriptor(
+        topic=TopicId(topic), publisher=NodeId(publisher), **kwargs
+    )
+
+
+class TestParameterize:
+    def test_fills_placeholder(self):
+        assert parameterize("news/traffic/{city}", city="tromso") == "news/traffic/tromso"
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(SubscriptionError):
+            parameterize("news/traffic/{city}")
+
+
+class TestAdvertise:
+    def test_advertise_and_lookup(self):
+        registry = TopicRegistry()
+        registry.advertise(descriptor())
+        assert registry.lookup(TopicId("news/weather")).publisher == "met.no"
+        assert registry.exists(TopicId("news/weather"))
+        assert len(registry) == 1
+
+    def test_readvertise_by_owner_updates(self):
+        registry = TopicRegistry()
+        registry.advertise(descriptor(description="v1"))
+        registry.advertise(descriptor(description="v2"))
+        assert registry.lookup(TopicId("news/weather")).description == "v2"
+        assert len(registry) == 1
+
+    def test_claim_by_other_publisher_rejected(self):
+        registry = TopicRegistry()
+        registry.advertise(descriptor())
+        with pytest.raises(SubscriptionError):
+            registry.advertise(descriptor(publisher="intruder"))
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(UnknownTopicError):
+            TopicRegistry().lookup(TopicId("nope"))
+
+    def test_get_returns_none_for_unknown(self):
+        assert TopicRegistry().get(TopicId("nope")) is None
+
+
+class TestWithdraw:
+    def test_withdraw_removes(self):
+        registry = TopicRegistry()
+        registry.advertise(descriptor())
+        registry.withdraw(TopicId("news/weather"), NodeId("met.no"))
+        assert not registry.exists(TopicId("news/weather"))
+
+    def test_withdraw_unknown_raises(self):
+        with pytest.raises(UnknownTopicError):
+            TopicRegistry().withdraw(TopicId("nope"), NodeId("met.no"))
+
+    def test_withdraw_by_non_owner_rejected(self):
+        registry = TopicRegistry()
+        registry.advertise(descriptor())
+        with pytest.raises(SubscriptionError):
+            registry.withdraw(TopicId("news/weather"), NodeId("intruder"))
+
+
+class TestByPublisher:
+    def test_lists_topics_of_publisher(self):
+        registry = TopicRegistry()
+        registry.advertise(descriptor(topic="a"))
+        registry.advertise(descriptor(topic="b"))
+        registry.advertise(descriptor(topic="c", publisher="other"))
+        topics = {d.topic for d in registry.by_publisher(NodeId("met.no"))}
+        assert topics == {"a", "b"}
+
+    def test_iteration_yields_all(self):
+        registry = TopicRegistry()
+        registry.advertise(descriptor(topic="a"))
+        registry.advertise(descriptor(topic="b"))
+        assert {d.topic for d in registry} == {"a", "b"}

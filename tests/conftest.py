@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Tests run scenarios at much shorter virtual durations than the paper's
+one-year experiments; the dynamics under test (overflow, expiration,
+outage interplay) all manifest within days to weeks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+from repro.units import DAY
+from repro.workload.arrivals import ArrivalConfig
+from repro.workload.outages import OutageConfig
+from repro.workload.reads import ReadConfig
+from repro.workload.scenario import ScenarioConfig, build_trace
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    return RandomSource(seed=1234)
+
+
+def make_config(
+    days: float = 30.0,
+    events_per_day: float = 32.0,
+    reads_per_day: float = 2.0,
+    read_count: int = 8,
+    outage_fraction: float = 0.0,
+    expiring_fraction: float = 0.0,
+    expiration_mean: float = DAY,
+    threshold: float = 0.0,
+    seed: int = 0,
+) -> ScenarioConfig:
+    """Compact scenario factory used across test modules."""
+    return ScenarioConfig(
+        duration=days * DAY,
+        seed=seed,
+        arrivals=ArrivalConfig(
+            events_per_day=events_per_day,
+            expiring_fraction=expiring_fraction,
+            expiration_mean=expiration_mean,
+        ),
+        reads=ReadConfig(reads_per_day=reads_per_day, read_count=read_count),
+        outages=OutageConfig(
+            downtime_fraction=outage_fraction,
+            outages_per_day=4.0,
+            duration_sigma=0.5,
+        ),
+        threshold=threshold,
+    )
+
+
+@pytest.fixture
+def overflow_trace():
+    """A 30-day overflow trace (32 events/day vs 16 read/day), no outages."""
+    return build_trace(make_config(days=30.0), seed=7)
+
+
+@pytest.fixture
+def outage_trace():
+    """A 30-day overflow trace with 70 % downtime."""
+    return build_trace(make_config(days=30.0, outage_fraction=0.7), seed=7)

@@ -1,0 +1,81 @@
+"""Unit tests for the location model and track generator."""
+
+import pytest
+
+from repro.context.gps import Location, MovementTrack, TrackConfig, Visit, generate_track
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+from repro.units import DAY
+
+TROMSO = Location("tromso", 69.65, 18.96)
+OSLO = Location("oslo", 59.91, 10.75)
+BERGEN = Location("bergen", 60.39, 5.32)
+
+
+class TestLocation:
+    def test_distance_roughly_correct(self):
+        # Tromsø–Oslo is about 1100 km great-circle.
+        assert TROMSO.distance_km(OSLO.latitude, OSLO.longitude) == pytest.approx(
+            1100, rel=0.1
+        )
+
+    def test_contains_center(self):
+        assert TROMSO.contains(TROMSO.latitude, TROMSO.longitude)
+        assert not TROMSO.contains(OSLO.latitude, OSLO.longitude)
+
+
+class TestMovementTrack:
+    def test_location_at(self):
+        track = MovementTrack(
+            visits=(Visit(0.0, TROMSO), Visit(100.0, OSLO), Visit(200.0, TROMSO))
+        )
+        assert track.location_at(50.0).name == "tromso"
+        assert track.location_at(100.0).name == "oslo"
+        assert track.location_at(150.0).name == "oslo"
+        assert track.location_at(250.0).name == "tromso"
+
+    def test_location_before_first_visit_is_none(self):
+        track = MovementTrack(visits=(Visit(10.0, TROMSO),))
+        assert track.location_at(5.0) is None
+
+    def test_transitions_deduplicate(self):
+        track = MovementTrack(
+            visits=(Visit(0.0, TROMSO), Visit(10.0, TROMSO), Visit(20.0, OSLO))
+        )
+        assert [v.location.name for v in track.transitions()] == ["tromso", "oslo"]
+
+
+class TestGenerateTrack:
+    def config(self):
+        return TrackConfig(home=TROMSO, destinations=(OSLO, BERGEN), mean_stay=2 * DAY)
+
+    def test_starts_at_home(self):
+        track = generate_track(self.config(), 30 * DAY, RandomSource(1))
+        assert track.visits[0].time == 0.0
+        assert track.visits[0].location.name == "tromso"
+
+    def test_visit_times_sorted_within_duration(self):
+        track = generate_track(self.config(), 30 * DAY, RandomSource(1))
+        times = [v.time for v in track.visits]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 30 * DAY for t in times)
+
+    def test_moves_actually_change_region(self):
+        track = generate_track(self.config(), 60 * DAY, RandomSource(2))
+        for earlier, later in zip(track.visits, track.visits[1:]):
+            assert earlier.location.name != later.location.name
+
+    def test_deterministic(self):
+        a = generate_track(self.config(), 30 * DAY, RandomSource(3))
+        b = generate_track(self.config(), 30 * DAY, RandomSource(3))
+        assert [v.location.name for v in a.visits] == [v.location.name for v in b.visits]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_track(
+                TrackConfig(home=TROMSO, destinations=()), DAY, RandomSource(0)
+            )
+        with pytest.raises(ConfigurationError):
+            generate_track(self.config(), 0.0, RandomSource(0))
+        with pytest.raises(ConfigurationError):
+            TrackConfig(home=TROMSO, destinations=(OSLO,), homing=1.5).validate()

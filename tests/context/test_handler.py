@@ -1,0 +1,89 @@
+"""Unit tests for the context-update handler."""
+
+import pytest
+
+from repro.broker.client_api import Publisher, Subscriber
+from repro.broker.overlay import BrokerOverlay
+from repro.context.gps import Location
+from repro.context.handler import ContextUpdateHandler, ParameterizedInterest
+from repro.errors import SubscriptionError
+from repro.sim.engine import Simulator
+from repro.types import NodeId
+
+TROMSO = Location("tromso", 69.65, 18.96)
+OSLO = Location("oslo", 59.91, 10.75)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    overlay = BrokerOverlay(sim)
+    broker = overlay.add_broker(NodeId("hub"))
+    publisher = Publisher(NodeId("traffic.example"), broker, sim)
+    publisher.advertise("news/traffic/tromso")
+    publisher.advertise("news/traffic/oslo")
+    subscriber = Subscriber(NodeId("phone"), broker)
+    return sim, publisher, subscriber
+
+
+def interest(received):
+    return ParameterizedInterest(
+        template="news/traffic/{city}",
+        callback=lambda n, s: received.append(n.topic),
+    )
+
+
+class TestRegistration:
+    def test_interest_requires_callback(self, world):
+        _sim, _pub, subscriber = world
+        handler = ContextUpdateHandler(subscriber)
+        with pytest.raises(SubscriptionError):
+            handler.register(ParameterizedInterest(template="x/{city}"))
+
+    def test_registration_before_context_defers_subscription(self, world):
+        _sim, _pub, subscriber = world
+        handler = ContextUpdateHandler(subscriber)
+        handler.register(interest([]))
+        assert handler.interests[0].subscription is None
+
+    def test_registration_after_context_subscribes_immediately(self, world):
+        _sim, _pub, subscriber = world
+        handler = ContextUpdateHandler(subscriber)
+        handler.on_context_update(TROMSO)
+        handler.register(interest([]))
+        assert handler.interests[0].subscription.topic == "news/traffic/tromso"
+
+
+class TestContextUpdates:
+    def test_update_resubscribes_to_new_city(self, world):
+        sim, publisher, subscriber = world
+        received = []
+        handler = ContextUpdateHandler(subscriber)
+        handler.register(interest(received))
+        handler.on_context_update(TROMSO)
+        publisher.publish("news/traffic/tromso")
+        sim.run()
+        handler.on_context_update(OSLO)
+        publisher.publish("news/traffic/tromso")  # no longer subscribed
+        publisher.publish("news/traffic/oslo")
+        sim.run()
+        assert received == ["news/traffic/tromso", "news/traffic/oslo"]
+        assert handler.resubscriptions == 2  # initial + move
+
+    def test_same_region_update_is_noop(self, world):
+        _sim, _pub, subscriber = world
+        handler = ContextUpdateHandler(subscriber)
+        handler.register(interest([]))
+        handler.on_context_update(TROMSO)
+        first = handler.interests[0].subscription
+        handler.on_context_update(TROMSO)
+        assert handler.interests[0].subscription is first
+        assert handler.resubscriptions == 1
+        assert handler.updates_handled == 2
+
+    def test_current_location_tracked(self, world):
+        _sim, _pub, subscriber = world
+        handler = ContextUpdateHandler(subscriber)
+        assert handler.current_location is None
+        handler.on_context_update(OSLO)
+        assert handler.current_location.name == "oslo"

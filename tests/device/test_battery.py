@@ -1,0 +1,60 @@
+"""Unit tests for the battery budget model."""
+
+import math
+
+import pytest
+
+from repro.device.battery import Battery
+from repro.errors import BatteryExhaustedError, ConfigurationError
+
+
+class TestUnlimited:
+    def test_default_battery_is_unlimited(self):
+        battery = Battery()
+        assert not battery.limited
+        assert not battery.exhausted
+        assert math.isinf(battery.remaining)
+        for _ in range(1000):
+            battery.drain_receive(512)
+        assert not battery.exhausted
+
+
+class TestLimited:
+    def test_receive_cost_drains(self):
+        battery = Battery(capacity=10.0, receive_cost=2.0)
+        battery.drain_receive(0)
+        assert battery.spent == 2.0
+        assert battery.remaining == 8.0
+
+    def test_per_byte_cost(self):
+        battery = Battery(capacity=100.0, receive_cost=1.0, per_byte_cost=0.01)
+        battery.drain_receive(500)
+        assert battery.spent == pytest.approx(6.0)
+
+    def test_read_cost(self):
+        battery = Battery(capacity=10.0, read_cost=0.5)
+        battery.drain_read(4)
+        assert battery.spent == pytest.approx(2.0)
+
+    def test_exhaustion_raises(self):
+        battery = Battery(capacity=3.0, receive_cost=1.0)
+        for _ in range(3):
+            battery.drain_receive(0)
+        assert battery.exhausted
+        with pytest.raises(BatteryExhaustedError):
+            battery.drain_receive(0)
+
+    def test_remaining_never_negative(self):
+        battery = Battery(capacity=1.0, receive_cost=5.0)
+        battery.drain_receive(0)
+        assert battery.remaining == 0.0
+
+
+class TestValidation:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Battery(receive_cost=-1.0)
+        with pytest.raises(ConfigurationError):
+            Battery(per_byte_cost=-1.0)
+        with pytest.raises(ConfigurationError):
+            Battery(read_cost=-1.0)

@@ -1,0 +1,211 @@
+"""Unit tests for the mobile client device."""
+
+import pytest
+
+from repro.broker.message import Notification
+from repro.device.battery import Battery
+from repro.device.device import ClientDevice
+from repro.device.link import LastHopLink
+from repro.device.storage import StoragePolicy
+from repro.errors import ConfigurationError, DeviceError
+from repro.metrics.accounting import RunStats
+from repro.proxy.policies import PolicyConfig
+from repro.proxy.proxy import LastHopProxy, ProxyConfig
+from repro.sim.engine import Simulator
+from repro.types import DeliveryMode, EventId, NetworkStatus, RunOutcome, TopicId
+
+TOPIC = TopicId("t")
+
+
+def note(event_id, rank=1.0, published_at=0.0, expires_at=None):
+    return Notification(
+        event_id=EventId(event_id),
+        topic=TOPIC,
+        rank=rank,
+        published_at=published_at,
+        expires_at=expires_at,
+    )
+
+
+def build(threshold=0.0, battery=None, storage=StoragePolicy(), with_proxy=None):
+    sim = Simulator()
+    stats = RunStats()
+    link = LastHopLink(sim, stats)
+    device = ClientDevice(sim, link, stats, battery=battery, storage=storage)
+    device.add_topic(TOPIC, threshold)
+    if with_proxy is not None:
+        proxy = LastHopProxy(sim, link, ProxyConfig(policy=with_proxy), stats)
+        proxy.add_topic(TOPIC, rank_threshold=threshold)
+        device.attach_proxy(proxy)
+        link.add_status_listener(proxy.on_network)
+        return sim, link, device, stats, proxy
+    return sim, link, device, stats, None
+
+
+class TestQueueing:
+    def test_receive_accumulates(self):
+        _sim, _link, device, _stats, _ = build()
+        device.receive(note(1, rank=2.0), DeliveryMode.PUSHED)
+        device.receive(note(2, rank=5.0), DeliveryMode.PUSHED)
+        assert device.queue_size(TOPIC) == 2
+        assert device.top_events(TOPIC, 1) == [(EventId(2), 5.0)]
+        assert [m.event_id for m in device.unread(TOPIC)] == [2, 1]
+
+    def test_unknown_topic_rejected(self):
+        _sim, _link, device, _stats, _ = build()
+        with pytest.raises(DeviceError):
+            device.queue_size(TopicId("nope"))
+
+    def test_duplicate_topic_rejected(self):
+        _sim, _link, device, _stats, _ = build()
+        with pytest.raises(ConfigurationError):
+            device.add_topic(TOPIC)
+
+
+class TestExpiryOnDevice:
+    def test_expired_message_removed_and_counted(self):
+        sim, _link, device, stats, _ = build()
+        device.receive(note(1, expires_at=10.0), DeliveryMode.PUSHED)
+        sim.run(until=15.0)
+        assert device.queue_size(TOPIC) == 0
+        assert stats.expired_on_device == 1
+
+    def test_read_message_does_not_count_as_expired(self):
+        sim, _link, device, stats, _ = build()
+        device.receive(note(1, expires_at=10.0), DeliveryMode.PUSHED)
+        outcome = device.perform_read(TOPIC, 5)
+        assert outcome.count == 1
+        sim.run(until=15.0)
+        assert stats.expired_on_device == 0
+
+
+class TestRetraction:
+    def test_retract_removes_unread(self):
+        _sim, _link, device, stats, _ = build()
+        device.receive(note(1), DeliveryMode.PUSHED)
+        device.retract(EventId(1))
+        assert device.queue_size(TOPIC) == 0
+        assert stats.retracted_on_device == 1
+
+    def test_retract_unknown_is_noop(self):
+        _sim, _link, device, stats, _ = build()
+        device.retract(EventId(9))
+        assert stats.retracted_on_device == 0
+
+
+class TestReads:
+    def test_read_consumes_top_n_above_threshold(self):
+        _sim, _link, device, stats, _ = build(threshold=2.0)
+        device.receive(note(1, rank=1.0), DeliveryMode.PUSHED)   # below threshold
+        device.receive(note(2, rank=3.0), DeliveryMode.PUSHED)
+        device.receive(note(3, rank=5.0), DeliveryMode.PUSHED)
+        device.receive(note(4, rank=4.0), DeliveryMode.PUSHED)
+        outcome = device.perform_read(TOPIC, 2)
+        assert [m.event_id for m in outcome.consumed] == [3, 4]
+        assert device.queue_size(TOPIC) == 2
+        assert stats.read_ids == {EventId(3), EventId(4)}
+
+    def test_empty_read_counted(self):
+        _sim, _link, device, stats, _ = build()
+        outcome = device.perform_read(TOPIC, 5)
+        assert outcome.count == 0
+        assert stats.empty_reads == 1
+
+    def test_read_during_outage_sees_local_queue_only(self):
+        _sim, link, device, stats, proxy = build(with_proxy=PolicyConfig.on_demand())
+        proxy.on_notification(note(1, rank=5.0))
+        link.set_status(NetworkStatus.DOWN)
+        outcome = device.perform_read(TOPIC, 5)
+        assert outcome.offline
+        assert outcome.count == 0
+        assert stats.reads_during_outage == 1
+
+    def test_read_pulls_from_proxy_when_up(self):
+        _sim, _link, device, stats, proxy = build(with_proxy=PolicyConfig.on_demand())
+        proxy.on_notification(note(1, rank=5.0))
+        outcome = device.perform_read(TOPIC, 5)
+        assert outcome.fetched == 1
+        assert outcome.count == 1
+        assert not outcome.offline
+
+    def test_read_age_recorded(self):
+        sim, _link, device, stats, _ = build()
+        device.receive(note(1, published_at=0.0), DeliveryMode.PUSHED)
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        device.perform_read(TOPIC, 1)
+        assert stats.mean_read_age == pytest.approx(100.0)
+
+
+class TestStorageCap:
+    def test_eviction_counts_displaced(self):
+        _sim, _link, device, stats, _ = build(storage=StoragePolicy(max_messages=2))
+        device.receive(note(1, rank=1.0), DeliveryMode.PUSHED)
+        device.receive(note(2, rank=2.0), DeliveryMode.PUSHED)
+        device.receive(note(3, rank=3.0), DeliveryMode.PUSHED)
+        assert device.queue_size(TOPIC) == 2
+        assert stats.displaced == 1
+        assert device.top_events(TOPIC, 2) == [(EventId(3), 3.0), (EventId(2), 2.0)]
+
+    def test_low_ranked_incoming_dropped(self):
+        _sim, _link, device, stats, _ = build(storage=StoragePolicy(max_messages=2))
+        device.receive(note(1, rank=4.0), DeliveryMode.PUSHED)
+        device.receive(note(2, rank=5.0), DeliveryMode.PUSHED)
+        device.receive(note(3, rank=0.5), DeliveryMode.PUSHED)
+        assert device.queue_size(TOPIC) == 2
+        assert EventId(3) not in {eid for eid, _ in device.top_events(TOPIC, 5)}
+
+
+class TestBatteryDeath:
+    def test_device_dies_when_battery_exhausted(self):
+        _sim, _link, device, stats, _ = build(
+            battery=Battery(capacity=2.0, receive_cost=1.0)
+        )
+        device.receive(note(1), DeliveryMode.PUSHED)
+        device.receive(note(2), DeliveryMode.PUSHED)
+        device.receive(note(3), DeliveryMode.PUSHED)  # exceeds budget
+        assert device.dead
+        assert stats.outcome is RunOutcome.BATTERY_DEAD
+        assert device.queue_size(TOPIC) == 2
+
+    def test_dead_device_reads_nothing(self):
+        _sim, _link, device, _stats, _ = build(
+            battery=Battery(capacity=1.0, receive_cost=1.0)
+        )
+        device.receive(note(1), DeliveryMode.PUSHED)
+        device.receive(note(2), DeliveryMode.PUSHED)
+        assert device.dead
+        outcome = device.perform_read(TOPIC, 5)
+        assert outcome.count == 0
+
+
+class TestReconnectReport:
+    def test_queue_report_sent_on_link_up(self):
+        _sim, link, device, _stats, proxy = build(
+            with_proxy=PolicyConfig.buffer(prefetch_limit=4)
+        )
+        device.receive(note(1), DeliveryMode.PUSHED)
+        device.receive(note(2), DeliveryMode.PUSHED)
+        state = proxy.topic_state(TOPIC)
+        state.queue_size = 99  # deliberately stale
+        link.set_status(NetworkStatus.DOWN)
+        link.set_status(NetworkStatus.UP)
+        assert state.queue_size == 2
+
+    def test_report_disabled(self):
+        sim = Simulator()
+        stats = RunStats()
+        link = LastHopLink(sim, stats)
+        device = ClientDevice(sim, link, stats, report_on_reconnect=False)
+        device.add_topic(TOPIC)
+        proxy = LastHopProxy(
+            sim, link, ProxyConfig(policy=PolicyConfig.buffer(prefetch_limit=4)), stats
+        )
+        proxy.add_topic(TOPIC)
+        device.attach_proxy(proxy)
+        link.add_status_listener(proxy.on_network)
+        state = proxy.topic_state(TOPIC)
+        state.queue_size = 99
+        link.set_status(NetworkStatus.DOWN)
+        link.set_status(NetworkStatus.UP)
+        assert state.queue_size == 99

@@ -1,0 +1,46 @@
+"""Unit tests for the storage cap with low-rank eviction."""
+
+from repro.broker.message import Notification
+from repro.device.storage import StoragePolicy
+from repro.proxy.queues import RankedQueue
+from repro.types import EventId, TopicId
+
+
+def note(event_id, rank):
+    return Notification(
+        event_id=EventId(event_id), topic=TopicId("t"), rank=rank, published_at=0.0
+    )
+
+
+class TestUnlimited:
+    def test_default_is_unlimited(self):
+        policy = StoragePolicy()
+        assert not policy.limited
+        queue = RankedQueue([note(i, float(i)) for i in range(100)])
+        assert policy.evict_for(queue, note(1000, 0.0)) == []
+
+
+class TestEviction:
+    def test_no_eviction_when_room(self):
+        policy = StoragePolicy(max_messages=3)
+        queue = RankedQueue([note(1, 1.0)])
+        assert policy.evict_for(queue, note(2, 2.0)) == []
+
+    def test_lowest_ranked_resident_evicted(self):
+        policy = StoragePolicy(max_messages=2)
+        queue = RankedQueue([note(1, 1.0), note(2, 3.0)])
+        victims = policy.evict_for(queue, note(3, 5.0))
+        assert [v.event_id for v in victims] == [1]
+
+    def test_incoming_evicted_if_lowest(self):
+        policy = StoragePolicy(max_messages=2)
+        queue = RankedQueue([note(1, 4.0), note(2, 3.0)])
+        victims = policy.evict_for(queue, note(3, 0.5))
+        assert [v.event_id for v in victims] == [3]
+
+    def test_multiple_evictions_when_cap_shrunk_below_occupancy(self):
+        policy = StoragePolicy(max_messages=2)
+        queue = RankedQueue([note(i, float(i)) for i in range(4)])
+        victims = policy.evict_for(queue, note(10, 5.0))
+        assert len(victims) == 3
+        assert {v.event_id for v in victims} == {0, 1, 2}

@@ -1,0 +1,80 @@
+"""Unit tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ascii_plot import MARKERS, plot, plot_table_columns
+from repro.experiments.report import Table
+
+
+class TestPlot:
+    def test_basic_render(self):
+        text = plot(
+            [1.0, 2.0, 3.0],
+            [("up", [0.0, 5.0, 10.0]), ("down", [10.0, 5.0, 0.0])],
+            title="T", x_label="limit", y_label="%",
+        )
+        assert "T" in text
+        assert "legend: o up   x down" in text
+        assert "limit" in text
+
+    def test_markers_placed_at_extremes(self):
+        text = plot([0.0, 1.0], [("c", [0.0, 100.0])], width=20, height=5)
+        lines = text.splitlines()
+        grid = [line for line in lines if "|" in line]
+        # Highest value on the top grid row, lowest on the bottom row.
+        assert "o" in grid[0]
+        assert "o" in grid[-1]
+
+    def test_log_axis_spreads_powers(self):
+        text = plot(
+            [1.0, 10.0, 100.0, 1000.0],
+            [("c", [1.0, 2.0, 3.0, 4.0])],
+            log_x=True, width=31, height=5,
+        )
+        row_columns = []
+        for line in text.splitlines():
+            if "|" in line and "o" in line:
+                inner = line.split("|")[1]
+                row_columns.append(inner.index("o"))
+        # Log spacing: roughly equidistant columns.
+        gaps = [b - a for a, b in zip(sorted(row_columns), sorted(row_columns)[1:])]
+        assert max(gaps) - min(gaps) <= 2
+        assert "(log)" in text
+
+    def test_y_range_override(self):
+        text = plot([0.0, 1.0], [("c", [40.0, 60.0])], y_range=(0.0, 100.0))
+        assert "100" in text
+        assert text.splitlines()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            plot([], [("c", [])])
+        with pytest.raises(ConfigurationError):
+            plot([1.0], [])
+        with pytest.raises(ConfigurationError):
+            plot([1.0], [("c", [1.0, 2.0])])
+        with pytest.raises(ConfigurationError):
+            plot([0.0, 1.0], [("c", [1.0, 2.0])], log_x=True)
+        with pytest.raises(ConfigurationError):
+            plot([1.0], [(str(i), [1.0]) for i in range(len(MARKERS) + 1)])
+
+
+class TestPlotTable:
+    def test_plot_from_table(self):
+        table = Table(title="demo", headers=["limit", "loss", "waste"])
+        table.add_row(1, 80.0, 0.0)
+        table.add_row(16, 1.0, 0.3)
+        table.add_row(65536, 0.0, 49.0)
+        text = plot_table_columns(table, "limit", log_x=True)
+        assert "demo" in text
+        assert "o loss" in text
+        assert "x waste" in text
+
+    def test_curve_selection(self):
+        table = Table(title="demo", headers=["x", "a", "b"])
+        table.add_row(1, 1.0, 2.0)
+        table.add_row(2, 2.0, 4.0)
+        text = plot_table_columns(table, "x", curve_columns=["b"])
+        assert "o b" in text
+        assert " a" not in text.split("legend:")[1]

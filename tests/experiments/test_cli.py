@@ -1,0 +1,40 @@
+"""Unit tests for the CLI entry point."""
+
+import pytest
+
+from repro.experiments import cli
+
+
+class TestList:
+    def test_list_enumerates_figures(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                     "ablation-rate", "ablation-delay", "ablation-unified"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_figure_with_reduced_days(self, capsys):
+        assert cli.main(["fig1", "--days", "3", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Max" in out
+
+    def test_run_figure_with_seeds(self, capsys):
+        assert cli.main(["fig2", "--days", "3", "--seeds", "0", "1", "--quiet"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_multi_table_figure_renders_both(self, capsys):
+        assert cli.main(["fig3", "--days", "3", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "loss with buffer-based" in out
+        assert "waste with buffer-based" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["not-a-figure"])
+
+    def test_run_figure_helper_returns_text(self):
+        text = cli.run_figure("fig1", days=2.0, quiet=True)
+        assert "Figure 1" in text

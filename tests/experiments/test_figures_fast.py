@@ -1,0 +1,190 @@
+"""Fast shape checks for every figure module.
+
+Each test runs the real figure code at a reduced virtual duration and a
+trimmed sweep, then asserts the qualitative shape the paper reports.
+Full-scale numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    ablation_rank_delay,
+    ablation_rate_vs_buffer,
+    ablation_unified,
+    fig1_overflow_waste,
+    fig2_overflow_loss,
+    fig3_buffer_prefetch,
+    fig4_expiration_waste,
+    fig5_expiration_loss,
+    fig6_expiration_threshold,
+)
+from repro.units import DAY, HOUR
+
+DAYS_30 = 30 * DAY
+DAYS_60 = 60 * DAY
+
+
+class TestFig1:
+    def test_waste_matches_formula(self):
+        config = fig1_overflow_waste.Fig1Config(
+            duration=DAYS_30, max_values=(4, 32), user_frequencies=(1.0,)
+        )
+        table = fig1_overflow_waste.run(config)
+        rows = {row[0]: row[1] for row in table.rows}
+        assert rows[4] == pytest.approx(87.5, abs=3.0)  # paper: "88 %"
+        # Max = 32 at uf = 1 exactly balances the arrival rate; the unread
+        # backlog is a random walk, so a 30-day run keeps a few percent
+        # of end-of-run residue (the year-long run reaches ~1 %).
+        assert rows[32] < 10.0
+
+
+    def test_waste_decreases_with_max(self):
+        config = fig1_overflow_waste.Fig1Config(
+            duration=DAYS_30, max_values=(1, 8, 64), user_frequencies=(2.0,)
+        )
+        points = fig1_overflow_waste.curves(config)[2.0]
+        assert points[0] > points[1] > points[2]
+
+
+class TestFig2:
+    def test_loss_zero_at_endpoints(self):
+        config = fig2_overflow_loss.Fig2Config(
+            duration=DAYS_30, outage_fractions=(0.0, 1.0), user_frequencies=(2.0,)
+        )
+        losses = fig2_overflow_loss.curves(config)[2.0]
+        assert losses[0] == pytest.approx(0.0, abs=0.02)
+        assert losses[1] == 0.0  # both policies equally powerless
+
+    def test_loss_grows_with_outage(self):
+        config = fig2_overflow_loss.Fig2Config(
+            duration=DAYS_30, outage_fractions=(0.1, 0.5, 0.9), user_frequencies=(1.0,)
+        )
+        losses = fig2_overflow_loss.curves(config)[1.0]
+        assert losses[0] < losses[1] < losses[2]
+        assert losses[2] > 0.5
+
+
+class TestFig3:
+    def test_loss_falls_and_waste_rises_with_limit(self):
+        config = fig3_buffer_prefetch.Fig3Config(
+            duration=DAYS_30, prefetch_limits=(1, 16, 4096), outage_fractions=(0.5,)
+        )
+        points = fig3_buffer_prefetch.curves(config)[0.5]
+        losses = [p.loss for p in points]
+        wastes = [p.waste for p in points]
+        assert losses[0] > losses[1] >= losses[2] - 0.02
+        assert wastes[0] <= wastes[1] <= wastes[2]
+        assert wastes[2] > 0.2  # heading toward the 50 % plateau
+
+    def test_sweet_spot_between_16_and_64(self):
+        """'Between 16 and 64, both waste and loss are below 1 %' (we
+        allow a few % at reduced duration)."""
+        config = fig3_buffer_prefetch.Fig3Config(
+            duration=DAYS_60, prefetch_limits=(16, 64), outage_fractions=(0.3,)
+        )
+        for point in fig3_buffer_prefetch.curves(config)[0.3]:
+            assert point.loss < 0.06
+            assert point.waste < 0.06
+
+
+class TestFig4:
+    def test_waste_falls_with_expiration_time(self):
+        config = fig4_expiration_waste.Fig4Config(
+            duration=DAYS_30,
+            expiration_means=(64.0, 16384.0, 262144.0),
+            user_frequencies=(4.0,),
+        )
+        wastes = fig4_expiration_waste.curves(config)[4.0]
+        assert wastes[0] > 0.9           # short-lived: nearly all wasted
+        assert wastes[0] > wastes[1] > wastes[2]
+
+    def test_frequent_reader_wastes_less(self):
+        config = fig4_expiration_waste.Fig4Config(
+            duration=DAYS_30, expiration_means=(4096.0,), user_frequencies=(1.0, 32.0)
+        )
+        curves = fig4_expiration_waste.curves(config)
+        assert curves[32.0][0] < curves[1.0][0]
+
+
+class TestFig5:
+    def test_loss_negligible_for_short_expirations(self):
+        config = fig5_expiration_loss.Fig5Config(
+            duration=DAYS_30, expiration_means=(16.0,), user_frequencies=(2.0,)
+        )
+        losses = fig5_expiration_loss.curves(config)[2.0]
+        assert losses[0] < 0.05
+
+    def test_loss_rises_into_midrange(self):
+        config = fig5_expiration_loss.Fig5Config(
+            duration=DAYS_60, expiration_means=(64.0, 65536.0), user_frequencies=(2.0,)
+        )
+        losses = fig5_expiration_loss.curves(config)[2.0]
+        assert losses[1] > losses[0] + 0.3
+
+
+class TestFig6:
+    def test_short_expiry_curve_shape(self):
+        """The 4.2 h curve: waste high then drops; loss 0 then climbs."""
+        config = fig6_expiration_threshold.Fig6Config(
+            duration=DAYS_60,
+            thresholds=(64.0, 262144.0),
+            expiration_means=(15360.0,),
+        )
+        points = fig6_expiration_threshold.curves(config)[15360.0]
+        assert points[0].waste > 0.4
+        assert points[0].loss < 0.05
+        assert points[1].waste < 0.05
+        assert points[1].loss > 0.3
+
+    def test_long_expiry_gap_contains_read_interval(self):
+        """For expirations an order of magnitude above the read interval,
+        the 8 h threshold keeps both waste and loss moderate."""
+        config = fig6_expiration_threshold.Fig6Config(
+            duration=DAYS_60,
+            thresholds=(8 * HOUR,),
+            expiration_means=(3932160.0,),
+        )
+        point = fig6_expiration_threshold.curves(config)[3932160.0][0]
+        assert point.waste < 0.10
+        assert point.loss < 0.10
+
+
+class TestAblations:
+    def test_rate_and_buffer_both_beat_extremes(self):
+        config = ablation_rate_vs_buffer.AblationRateConfig(
+            duration=DAYS_60, outage_fractions=(0.5,)
+        )
+        table = ablation_rate_vs_buffer.run(config)
+        cells = {row[0]: (row[2], row[3]) for row in table.rows}
+        online_waste = cells["online"][0]
+        on_demand_loss = cells["on-demand"][1]
+        for policy in ("buffer-16", "rate", "unified"):
+            waste, loss = cells[policy]
+            assert waste < online_waste / 3
+            assert loss < on_demand_loss / 3
+        # "the buffer-based approach turned out to be more effective":
+        # lower combined inefficiency than rate-based.
+        buffer_combined = sum(cells["buffer-16"])
+        rate_combined = sum(cells["rate"])
+        assert buffer_combined < rate_combined
+
+    def test_delay_reduces_retractions(self):
+        config = ablation_rank_delay.AblationDelayConfig(
+            duration=DAYS_60, drop_fractions=(0.3,)
+        )
+        table = ablation_rank_delay.run(config)
+        rows = {(row[0], row[1]): row for row in table.rows}
+        without = rows[(0.3, "delay-off")]
+        with_delay = rows[(0.3, "delay-2h")]
+        assert with_delay[4] < without[4]  # fewer retraction messages
+        assert with_delay[5] > without[5]  # more drops absorbed at proxy
+
+    def test_unified_tracks_tuned_buffer(self):
+        config = ablation_unified.AblationUnifiedConfig(duration=DAYS_30)
+        table = ablation_unified.run(config)
+        unified = {
+            row[0]: (row[2], row[3]) for row in table.rows if row[1] == "unified"
+        }
+        for workload, (waste, loss) in unified.items():
+            assert waste < 35.0, workload
+            assert loss < 35.0, workload

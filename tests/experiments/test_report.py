@@ -1,0 +1,45 @@
+"""Unit tests for the plain-text reporting."""
+
+import pytest
+
+from repro.experiments.report import Table, render_series, render_table
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table(title="T", headers=["a", "b"])
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "T" in text
+        assert "2.50" in text
+
+    def test_row_width_checked(self):
+        table = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table(title="T", headers=["x", "y"])
+        table.add_row(1, 10.0)
+        table.add_row(2, 20.0)
+        assert table.column("y") == [10.0, 20.0]
+
+    def test_notes_rendered(self):
+        table = Table(title="T", headers=["a"], notes=["hello note"])
+        assert "# hello note" in table.render()
+
+    def test_alignment(self):
+        text = render_table("T", ["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[4])  # header row vs data row width
+
+
+class TestSeries:
+    def test_series_blocks(self):
+        text = render_series("fig", "x", [1.0, 2.0], [("curve-a", [0.5, 0.25])])
+        assert "# curve: curve-a" in text
+        assert "1\t0.5000" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("fig", "x", [1.0, 2.0], [("bad", [0.5])])

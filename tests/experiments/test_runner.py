@@ -1,0 +1,84 @@
+"""Unit tests for the scenario runner and paired execution."""
+
+import pytest
+
+from repro.experiments.runner import run_paired, run_paired_config, run_scenario
+from repro.metrics.analytic import expected_overflow_waste
+from repro.metrics.waste_loss import compute_waste
+from repro.proxy.policies import PolicyConfig
+from repro.types import RunOutcome
+
+from tests.conftest import make_config
+from repro.workload.scenario import build_trace
+
+
+class TestSingleRuns:
+    def test_online_forwards_everything_when_network_perfect(self, overflow_trace):
+        result = run_scenario(overflow_trace, PolicyConfig.online())
+        assert result.stats.forwarded == result.stats.accepted
+        assert result.stats.accepted == len(overflow_trace.arrivals)
+        assert result.stats.outcome is RunOutcome.COMPLETED
+
+    def test_on_demand_has_zero_waste(self, outage_trace):
+        result = run_scenario(outage_trace, PolicyConfig.on_demand())
+        assert compute_waste(result.stats) == 0.0
+
+    def test_reads_executed(self, overflow_trace):
+        result = run_scenario(overflow_trace, PolicyConfig.online())
+        assert result.stats.reads == len(overflow_trace.reads)
+
+    def test_threshold_filters_at_proxy(self):
+        trace = build_trace(make_config(days=20.0), seed=3)
+        result = run_scenario(trace, PolicyConfig.online(), threshold=2.5)
+        assert result.stats.filtered > 0
+        assert result.stats.accepted + result.stats.filtered == result.stats.arrivals
+        # Uniform ranks on [0, 5): half the arrivals pass threshold 2.5.
+        assert result.stats.accepted / result.stats.arrivals == pytest.approx(
+            0.5, abs=0.05
+        )
+
+    def test_deterministic_replay(self, outage_trace):
+        a = run_scenario(outage_trace, PolicyConfig.unified())
+        b = run_scenario(outage_trace, PolicyConfig.unified())
+        assert a.stats.read_ids == b.stats.read_ids
+        assert a.stats.forwarded_ids == b.stats.forwarded_ids
+        assert a.events_processed == b.events_processed
+
+    def test_gc_does_not_change_results(self, outage_trace):
+        plain = run_scenario(outage_trace, PolicyConfig.unified())
+        with_gc = run_scenario(outage_trace, PolicyConfig.unified(), gc_interval=86400.0)
+        assert plain.stats.read_ids == with_gc.stats.read_ids
+        assert plain.stats.forwarded_ids == with_gc.stats.forwarded_ids
+
+
+class TestPairedRuns:
+    def test_online_baseline_has_zero_loss_against_itself(self, outage_trace):
+        result = run_paired(outage_trace, PolicyConfig.online())
+        assert result.metrics.loss == 0.0
+
+    def test_on_demand_zero_waste_guarantee(self, outage_trace):
+        result = run_paired(outage_trace, PolicyConfig.on_demand())
+        assert result.metrics.waste == 0.0
+
+    def test_policy_waste_capped_by_baseline(self, overflow_trace):
+        """The on-line scenario is 'the cap for the maximum level of waste'."""
+        result = run_paired(overflow_trace, PolicyConfig.buffer(prefetch_limit=65536))
+        assert result.metrics.waste <= result.metrics.baseline_waste + 0.02
+
+    def test_overflow_waste_matches_formula(self, overflow_trace):
+        result = run_paired(overflow_trace, PolicyConfig.online())
+        expected = expected_overflow_waste(2.0, 8, 32.0)
+        assert result.metrics.baseline_waste == pytest.approx(expected, abs=0.03)
+
+    def test_run_paired_config_builds_trace(self):
+        result = run_paired_config(
+            make_config(days=10.0), PolicyConfig.on_demand(), seed=1
+        )
+        assert result.baseline.stats.arrivals > 0
+        assert result.metrics.waste == 0.0
+
+    def test_full_outage_equalizes_policies(self):
+        trace = build_trace(make_config(days=10.0, outage_fraction=1.0), seed=2)
+        result = run_paired(trace, PolicyConfig.on_demand())
+        assert result.baseline.stats.messages_read == 0
+        assert result.metrics.loss == 0.0

@@ -1,0 +1,50 @@
+"""Unit tests for the generic sweep helper."""
+
+import pytest
+
+from repro.experiments.sweep import sweep_1d
+from repro.proxy.policies import PolicyConfig
+
+from tests.conftest import make_config
+
+
+class TestSweep1d:
+    def test_one_point_per_x(self):
+        points = sweep_1d(
+            xs=[1.0, 4.0],
+            make_config=lambda uf: make_config(days=5.0, reads_per_day=uf),
+            make_policy=lambda _x: PolicyConfig.on_demand(),
+        )
+        assert [p.x for p in points] == [1.0, 4.0]
+        assert all(p.waste == 0.0 for p in points)  # on-demand guarantee
+
+    def test_seed_replication_averages(self):
+        points = sweep_1d(
+            xs=[2.0],
+            make_config=lambda uf: make_config(days=5.0, reads_per_day=uf),
+            make_policy=lambda _x: PolicyConfig.online(),
+            seeds=(0, 1, 2),
+        )
+        assert points[0].seeds == 3
+        assert points[0].waste_std >= 0.0
+
+    def test_progress_callback_invoked(self):
+        lines = []
+        sweep_1d(
+            xs=[1.0],
+            make_config=lambda _x: make_config(days=3.0),
+            make_policy=lambda _x: PolicyConfig.on_demand(),
+            progress=lines.append,
+        )
+        assert len(lines) == 1
+        assert "waste" in lines[0]
+
+    def test_percent_properties(self):
+        points = sweep_1d(
+            xs=[0.5],
+            make_config=lambda uf: make_config(days=10.0, reads_per_day=uf),
+            make_policy=lambda _x: PolicyConfig.online(),
+        )
+        point = points[0]
+        assert point.waste_percent == pytest.approx(100.0 * point.waste)
+        assert point.loss_percent == pytest.approx(100.0 * point.loss)

@@ -1,0 +1,44 @@
+"""Tests for the reproduction scorecard.
+
+The full scorecard is exercised at reduced duration; at paper scale it
+is run via ``repro-lasthop validate`` and recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import validate
+from repro.units import DAY
+
+
+@pytest.fixture(scope="module")
+def results():
+    return validate.run(validate.ValidateConfig(duration=90 * DAY))
+
+
+class TestScorecard:
+    def test_all_claims_pass_at_90_days(self, results):
+        failing = [r.claim_id for r in results if not r.passed]
+        assert failing == []
+
+    def test_every_check_ran(self, results):
+        assert len(results) == len(validate.CHECKS)
+        assert len({r.claim_id for r in results}) == len(results)
+
+    def test_render_contains_summary(self, results):
+        text = validate.render(results)
+        assert "claims reproduced" in text
+        assert "[PASS]" in text
+
+    def test_claim_render_shape(self, results):
+        line = results[0].render()
+        assert "expected" in line
+        assert "measured" in line
+
+
+class TestProgress:
+    def test_progress_callback(self):
+        lines = []
+        validate.run(
+            validate.ValidateConfig(duration=30 * DAY), progress=lines.append
+        )
+        assert len(lines) == len(validate.CHECKS)

@@ -1,0 +1,70 @@
+"""Full-stack equivalence: the broker substrate is observationally
+transparent at zero latency, and well-behaved with latency."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.full_stack import run_scenario_full_stack
+from repro.experiments.runner import run_scenario
+from repro.proxy.policies import PolicyConfig
+from repro.workload.ranks import RankChangeConfig
+from repro.workload.scenario import build_trace
+
+from tests.conftest import make_config
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace(make_config(days=20.0, outage_fraction=0.4), seed=13)
+
+
+@pytest.fixture(scope="module")
+def rank_change_trace():
+    config = dataclasses.replace(
+        make_config(days=20.0, threshold=2.0),
+        rank_changes=RankChangeConfig(drop_fraction=0.2, drop_to_high=1.5),
+    )
+    return build_trace(config, seed=14)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            PolicyConfig.online(),
+            PolicyConfig.on_demand(),
+            PolicyConfig.unified(),
+        ],
+        ids=["online", "on-demand", "unified"],
+    )
+    def test_zero_latency_matches_direct_runner(self, trace, policy):
+        direct = run_scenario(trace, policy)
+        full = run_scenario_full_stack(trace, policy)
+        assert full.stats.read_ids == direct.stats.read_ids
+        assert full.stats.forwarded_ids == direct.stats.forwarded_ids
+        assert full.stats.bytes_sent == direct.stats.bytes_sent
+        assert full.stats.arrivals == direct.stats.arrivals
+
+    def test_rank_changes_propagate_through_broker(self, rank_change_trace):
+        direct = run_scenario(rank_change_trace, PolicyConfig.unified(), threshold=2.0)
+        full = run_scenario_full_stack(
+            rank_change_trace, PolicyConfig.unified(), threshold=2.0
+        )
+        assert full.stats.rank_changes == direct.stats.rank_changes
+        assert full.stats.retractions_sent == direct.stats.retractions_sent
+        assert full.stats.read_ids == direct.stats.read_ids
+
+
+class TestWithLatency:
+    def test_wide_area_latency_changes_little_on_the_last_hop(self, trace):
+        """Sub-second routing latency is invisible at hour-scale reads."""
+        instant = run_scenario_full_stack(trace, PolicyConfig.unified())
+        delayed = run_scenario_full_stack(
+            trace, PolicyConfig.unified(), overlay_latency=0.5
+        )
+        assert delayed.stats.arrivals == instant.stats.arrivals
+        read_difference = len(
+            delayed.stats.read_ids.symmetric_difference(instant.stats.read_ids)
+        )
+        assert read_difference < 0.01 * max(1, len(instant.stats.read_ids))

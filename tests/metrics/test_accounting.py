@@ -1,0 +1,51 @@
+"""Unit tests for run statistics accounting."""
+
+import pytest
+
+from repro.metrics.accounting import RunStats
+from repro.types import DeliveryMode, EventId
+
+
+class TestRecording:
+    def test_record_forward(self):
+        stats = RunStats()
+        stats.record_forward(EventId(1), 100, DeliveryMode.PUSHED)
+        stats.record_forward(EventId(2), 200, DeliveryMode.PULLED)
+        assert stats.forwarded == 2
+        assert stats.pushed == 1
+        assert stats.pulled == 1
+        assert stats.bytes_sent == 300
+
+    def test_duplicate_forward_counts_once_in_identity(self):
+        stats = RunStats()
+        stats.record_forward(EventId(1), 100, DeliveryMode.PUSHED)
+        stats.record_forward(EventId(1), 100, DeliveryMode.PUSHED)
+        assert stats.forwarded == 1  # identity set
+        assert stats.pushed == 2     # raw transfer count
+
+    def test_record_read(self):
+        stats = RunStats()
+        stats.record_read(EventId(1), age=100.0)
+        stats.record_read(EventId(2), age=200.0)
+        assert stats.messages_read == 2
+        assert stats.mean_read_age == pytest.approx(150.0)
+
+    def test_mean_read_age_empty(self):
+        assert RunStats().mean_read_age == 0.0
+
+
+class TestDerived:
+    def test_wasted_is_forwarded_minus_read(self):
+        stats = RunStats()
+        for i in range(5):
+            stats.record_forward(EventId(i), 10, DeliveryMode.PUSHED)
+        for i in range(2):
+            stats.record_read(EventId(i), age=1.0)
+        assert stats.wasted == 3
+
+    def test_describe_contains_counts(self):
+        stats = RunStats()
+        stats.arrivals = 42
+        text = stats.describe()
+        assert "42" in text
+        assert "forwarded" in text

@@ -1,0 +1,89 @@
+"""Unit tests for the closed-form waste model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.analytic import (
+    expected_expiration_waste,
+    expected_overflow_waste,
+    expected_worst_case_waste,
+)
+from repro.units import DAY, HOUR
+
+
+class TestFormula:
+    def test_paper_example_88_percent(self):
+        """'if Max is reduced to 4, then 88% of the forwarded messages
+        are wasted' (user frequency 1, event frequency 32)."""
+        assert expected_overflow_waste(1.0, 4, 32.0) == pytest.approx(0.875)
+
+    def test_paper_example_zero_waste(self):
+        """'a user that reads a maximum of 32 messages once a day will
+        not cause any waste'."""
+        assert expected_overflow_waste(1.0, 32, 32.0) == 0.0
+
+    def test_clamped_to_zero_when_capacity_exceeds_rate(self):
+        assert expected_overflow_waste(8.0, 64, 32.0) == 0.0
+
+    def test_clamped_to_one(self):
+        assert expected_overflow_waste(0.0, 0, 32.0) == 1.0
+
+    def test_worst_case_matches_figure3_plateau(self):
+        """'With event frequency = 32, Max = 8, and user frequency = 2 we
+        expect half of all messages to be wasted in the worst case.'"""
+        assert expected_worst_case_waste(2.0, 8, 32.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_overflow_waste(1.0, 8, 0.0)
+        with pytest.raises(ConfigurationError):
+            expected_overflow_waste(-1.0, 8, 32.0)
+
+
+class TestExpirationModel:
+    def test_limits(self):
+        # Instant expiry -> everything wasted; eternal -> nothing.
+        assert expected_expiration_waste(2.0, 1e-6) == pytest.approx(1.0, abs=1e-6)
+        assert expected_expiration_waste(2.0, 1e12) == pytest.approx(0.0, abs=1e-3)
+
+    def test_balance_point(self):
+        """When the mean lifetime equals the mean read interval, exactly
+        half the notifications expire first."""
+        assert expected_expiration_waste(2.0, DAY / 2.0) == pytest.approx(0.5)
+
+    def test_monotone_in_both_arguments(self):
+        assert expected_expiration_waste(1.0, HOUR) > expected_expiration_waste(
+            8.0, HOUR
+        )
+        assert expected_expiration_waste(2.0, HOUR) > expected_expiration_waste(
+            2.0, DAY
+        )
+
+    def test_matches_simulator_midrange(self):
+        """The formula tracks the Figure 4 simulator within a few points
+        in the mid-range (awake-window effects excluded)."""
+        from repro.experiments.runner import run_scenario
+        from repro.metrics.waste_loss import compute_waste
+        from repro.proxy.policies import PolicyConfig
+        from repro.workload.scenario import build_trace
+
+        from tests.conftest import make_config
+
+        config = make_config(
+            days=60.0,
+            reads_per_day=4.0,
+            read_count=1_000_000,
+            expiring_fraction=1.0,
+            expiration_mean=4.0 * HOUR,
+        )
+        trace = build_trace(config, seed=2)
+        result = run_scenario(trace, PolicyConfig.online())
+        measured = compute_waste(result.stats)
+        predicted = expected_expiration_waste(4.0, 4.0 * HOUR)
+        assert measured == pytest.approx(predicted, abs=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_expiration_waste(-1.0, HOUR)
+        with pytest.raises(ConfigurationError):
+            expected_expiration_waste(2.0, 0.0)

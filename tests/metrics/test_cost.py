@@ -1,0 +1,76 @@
+"""Unit tests for the tariff/cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.accounting import RunStats
+from repro.metrics.cost import CostBreakdown, TariffModel, price_run
+from repro.types import DeliveryMode, EventId
+
+
+def stats_with(forwarded, read, size=1024):
+    stats = RunStats()
+    for i in range(forwarded):
+        stats.record_forward(EventId(i), size, DeliveryMode.PUSHED)
+    for i in range(read):
+        stats.record_read(EventId(i), age=1.0)
+    return stats
+
+
+class TestTariff:
+    def test_price_components(self):
+        tariff = TariffModel(per_message=0.01, per_kilobyte=0.10)
+        assert tariff.price(10, 2048) == pytest.approx(0.1 + 0.2)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            price_run(RunStats(), TariffModel(per_message=-1.0))
+
+
+class TestPriceRun:
+    def test_zero_traffic_costs_nothing(self):
+        breakdown = price_run(RunStats())
+        assert breakdown.total == 0.0
+        assert breakdown.wasted == 0.0
+        assert breakdown.wasted_fraction == 0.0
+
+    def test_wasted_share_matches_waste_fraction(self):
+        stats = stats_with(forwarded=10, read=4)
+        breakdown = price_run(stats, TariffModel(per_message=1.0, per_kilobyte=0.0))
+        assert breakdown.total == pytest.approx(10.0)
+        assert breakdown.wasted == pytest.approx(6.0)
+        assert breakdown.useful == pytest.approx(4.0)
+        assert breakdown.wasted_fraction == pytest.approx(0.6)
+
+    def test_all_read_costs_no_waste(self):
+        stats = stats_with(forwarded=5, read=5)
+        assert price_run(stats).wasted == 0.0
+
+    def test_retractions_priced_as_useful(self):
+        stats = stats_with(forwarded=2, read=2)
+        stats.retractions_sent = 3
+        tariff = TariffModel(per_message=1.0, per_kilobyte=0.0)
+        breakdown = price_run(stats, tariff)
+        assert breakdown.total == pytest.approx(5.0)
+        assert breakdown.wasted == 0.0
+
+    def test_describe(self):
+        text = price_run(stats_with(3, 1)).describe()
+        assert "EUR" in text
+        assert "unread" in text
+
+
+class TestEndToEnd:
+    def test_on_demand_costs_less_than_online_under_overflow(self):
+        from repro.experiments.runner import run_scenario
+        from repro.proxy.policies import PolicyConfig
+        from repro.workload.scenario import build_trace
+
+        from tests.conftest import make_config
+
+        trace = build_trace(make_config(days=20.0), seed=1)
+        online = price_run(run_scenario(trace, PolicyConfig.online()).stats)
+        on_demand = price_run(run_scenario(trace, PolicyConfig.on_demand()).stats)
+        assert on_demand.total < online.total / 2
+        assert on_demand.wasted == 0.0
+        assert online.wasted > 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics.summary import Summary, percentile, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(1.118, abs=0.001)
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.stderr == 0.0 or summary.stderr == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_describe(self):
+        assert "n=3" in summarize([1.0, 2.0, 3.0]).describe()
+
+    def test_stderr(self):
+        summary = summarize([0.0, 2.0, 0.0, 2.0])
+        assert summary.stderr == pytest.approx(summary.std / 2.0)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0.5) == 3.0
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 0.5)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 1.5)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=50)
+def test_property_summary_bounds(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.std >= 0.0

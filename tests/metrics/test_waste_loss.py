@@ -1,0 +1,64 @@
+"""Unit tests for the waste/loss metrics."""
+
+import pytest
+
+from repro.metrics.accounting import RunStats
+from repro.metrics.waste_loss import compute_loss, compute_waste, pair_metrics
+from repro.types import DeliveryMode, EventId
+
+
+def stats_with(forwarded=(), read=()):
+    stats = RunStats()
+    for i in forwarded:
+        stats.record_forward(EventId(i), 10, DeliveryMode.PUSHED)
+    for i in read:
+        stats.record_read(EventId(i), age=1.0)
+    return stats
+
+
+class TestWaste:
+    def test_no_forwarding_is_zero_waste(self):
+        assert compute_waste(stats_with()) == 0.0
+
+    def test_all_read_is_zero_waste(self):
+        assert compute_waste(stats_with(forwarded=[1, 2], read=[1, 2])) == 0.0
+
+    def test_fraction_unread(self):
+        stats = stats_with(forwarded=[1, 2, 3, 4], read=[1])
+        assert compute_waste(stats) == pytest.approx(0.75)
+
+
+class TestLoss:
+    def test_empty_baseline_is_zero_loss(self):
+        assert compute_loss(stats_with(), stats_with()) == 0.0
+
+    def test_identical_read_sets_zero_loss(self):
+        baseline = stats_with(read=[1, 2, 3])
+        policy = stats_with(read=[1, 2, 3])
+        assert compute_loss(baseline, policy) == 0.0
+
+    def test_partial_miss(self):
+        baseline = stats_with(read=[1, 2, 3, 4])
+        policy = stats_with(read=[1, 2])
+        assert compute_loss(baseline, policy) == pytest.approx(0.5)
+
+    def test_policy_reading_extra_messages_is_not_loss(self):
+        baseline = stats_with(read=[1])
+        policy = stats_with(read=[1, 2, 3])
+        assert compute_loss(baseline, policy) == 0.0
+
+
+class TestPairMetrics:
+    def test_pair_metrics_fields(self):
+        baseline = stats_with(forwarded=[1, 2, 3, 4], read=[1, 2])
+        policy = stats_with(forwarded=[1], read=[1])
+        metrics = pair_metrics(baseline, policy)
+        assert metrics.waste == 0.0
+        assert metrics.loss == pytest.approx(0.5)
+        assert metrics.baseline_waste == pytest.approx(0.5)
+        assert metrics.forwarded == 1
+        assert metrics.messages_read == 1
+        assert metrics.baseline_read == 2
+        assert metrics.waste_percent == 0.0
+        assert metrics.loss_percent == pytest.approx(50.0)
+        assert "waste" in metrics.describe()

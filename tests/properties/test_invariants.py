@@ -1,0 +1,139 @@
+"""System-level invariants over randomized scenarios.
+
+Hypothesis drives the whole simulator (trace generation + paired runs)
+through random corners of the parameter space and checks the paper's
+structural guarantees, which must hold for *every* configuration:
+
+* pure on-demand never wastes a message;
+* the on-line baseline never loses a message (by definition);
+* a message can only be read if it was forwarded;
+* accounting is conservative (accepted + filtered + dead-on-arrival =
+  arrivals);
+* replaying the same trace under the same policy is deterministic.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_paired, run_scenario
+from repro.metrics.waste_loss import compute_loss, compute_waste
+from repro.proxy.policies import PolicyConfig
+from repro.units import DAY, HOUR
+from repro.workload.scenario import build_trace
+
+from tests.conftest import make_config
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+scenario_params = st.fixed_dictionaries(
+    {
+        "days": st.floats(min_value=3.0, max_value=15.0),
+        "events_per_day": st.floats(min_value=1.0, max_value=48.0),
+        "reads_per_day": st.floats(min_value=0.25, max_value=8.0),
+        "read_count": st.integers(min_value=1, max_value=32),
+        "outage_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "expiring_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "expiration_mean": st.floats(min_value=10 * 60.0, max_value=5 * DAY),
+        "threshold": st.floats(min_value=0.0, max_value=4.0),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+policies = st.sampled_from(
+    [
+        PolicyConfig.online(),
+        PolicyConfig.on_demand(),
+        PolicyConfig.buffer(prefetch_limit=4),
+        PolicyConfig.buffer(prefetch_limit=64),
+        PolicyConfig.rate(),
+        PolicyConfig.unified(),
+        PolicyConfig.unified(expiration_threshold=8 * HOUR, delay=HOUR),
+    ]
+)
+
+
+@given(params=scenario_params)
+@SLOW
+def test_on_demand_never_wastes(params):
+    trace = build_trace(make_config(**params), seed=params["seed"])
+    result = run_scenario(trace, PolicyConfig.on_demand(), threshold=params["threshold"])
+    assert compute_waste(result.stats) == 0.0
+
+
+@given(params=scenario_params, policy=policies)
+@SLOW
+def test_reads_are_subset_of_forwarded(params, policy):
+    trace = build_trace(make_config(**params), seed=params["seed"])
+    result = run_scenario(trace, policy, threshold=params["threshold"])
+    assert result.stats.read_ids <= result.stats.forwarded_ids
+
+
+@given(params=scenario_params, policy=policies)
+@SLOW
+def test_accounting_conserves_arrivals(params, policy):
+    trace = build_trace(make_config(**params), seed=params["seed"])
+    result = run_scenario(trace, policy, threshold=params["threshold"])
+    stats = result.stats
+    assert stats.accepted + stats.filtered + stats.expired_at_proxy >= stats.arrivals
+    assert stats.accepted + stats.filtered <= stats.arrivals
+    assert stats.forwarded <= stats.accepted
+    assert stats.arrivals == len(trace.arrivals)
+
+
+@given(params=scenario_params, policy=policies)
+@SLOW
+def test_metrics_are_fractions(params, policy):
+    trace = build_trace(make_config(**params), seed=params["seed"])
+    result = run_paired(trace, policy, threshold=params["threshold"])
+    assert 0.0 <= result.metrics.waste <= 1.0
+    assert 0.0 <= result.metrics.loss <= 1.0
+    assert 0.0 <= result.metrics.baseline_waste <= 1.0
+
+
+@given(params=scenario_params)
+@SLOW
+def test_online_baseline_has_no_loss(params):
+    trace = build_trace(make_config(**params), seed=params["seed"])
+    baseline = run_scenario(trace, PolicyConfig.online(), threshold=params["threshold"])
+    rerun = run_scenario(trace, PolicyConfig.online(), threshold=params["threshold"])
+    assert compute_loss(baseline.stats, rerun.stats) == 0.0
+
+
+@given(params=scenario_params, policy=policies)
+@SLOW
+def test_replay_is_deterministic(params, policy):
+    trace = build_trace(make_config(**params), seed=params["seed"])
+    a = run_scenario(trace, policy, threshold=params["threshold"])
+    b = run_scenario(trace, policy, threshold=params["threshold"])
+    assert a.stats.read_ids == b.stats.read_ids
+    assert a.stats.forwarded_ids == b.stats.forwarded_ids
+    assert a.stats.bytes_sent == b.stats.bytes_sent
+    assert a.events_processed == b.events_processed
+
+
+@given(params=scenario_params)
+@SLOW
+def test_full_outage_forwards_nothing(params):
+    params = dict(params)
+    params["outage_fraction"] = 1.0
+    trace = build_trace(make_config(**params), seed=params["seed"])
+    for policy in (PolicyConfig.online(), PolicyConfig.unified()):
+        result = run_scenario(trace, policy, threshold=params["threshold"])
+        assert result.stats.forwarded == 0
+        assert result.stats.messages_read == 0
+
+
+@given(params=scenario_params)
+@SLOW
+def test_read_volume_respects_max(params):
+    """No single read may consume more than the requested N; total reads
+    are bounded by reads × Max."""
+    trace = build_trace(make_config(**params), seed=params["seed"])
+    result = run_scenario(trace, PolicyConfig.online(), threshold=params["threshold"])
+    cap = len(trace.reads) * params["read_count"]
+    assert result.stats.messages_read <= cap

@@ -1,0 +1,117 @@
+"""Property test: trace serialization round-trips arbitrary valid traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import ArrivalRecord, OutageRecord, RankChangeRecord, ReadRecord, Trace
+from repro.sim.trace_io import trace_from_dict, trace_to_dict
+from repro.types import EventId
+
+DURATION = 1000.0
+
+
+@st.composite
+def traces(draw):
+    n_arrivals = draw(st.integers(min_value=0, max_value=30))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=DURATION - 1.0),
+                min_size=n_arrivals,
+                max_size=n_arrivals,
+            )
+        )
+    )
+    arrivals = []
+    for index, time in enumerate(times):
+        expires = draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=time + 0.001, max_value=DURATION * 2),
+            )
+        )
+        rank = draw(st.floats(min_value=0.0, max_value=5.0))
+        arrivals.append(
+            ArrivalRecord(
+                time=time, event_id=EventId(index), rank=rank, expires_at=expires
+            )
+        )
+
+    read_times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=DURATION - 1.0), max_size=10
+            )
+        )
+    )
+    reads = tuple(
+        ReadRecord(time=t, count=draw(st.integers(min_value=1, max_value=16)))
+        for t in read_times
+    )
+
+    outage_edges = sorted(
+        set(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=DURATION), max_size=8
+                )
+            )
+        )
+    )
+    outages = tuple(
+        OutageRecord(start=a, end=b)
+        for a, b in zip(outage_edges[::2], outage_edges[1::2])
+        if b > a
+    )
+
+    changes = []
+    if arrivals:
+        for _ in range(draw(st.integers(min_value=0, max_value=5))):
+            target = draw(st.sampled_from(arrivals))
+            change_time = draw(
+                st.floats(min_value=target.time, max_value=DURATION)
+            )
+            changes.append(
+                RankChangeRecord(
+                    time=change_time,
+                    event_id=target.event_id,
+                    new_rank=draw(st.floats(min_value=0.0, max_value=5.0)),
+                )
+            )
+        changes.sort(key=lambda c: c.time)
+
+    trace = Trace(
+        duration=DURATION,
+        arrivals=tuple(arrivals),
+        reads=reads,
+        outages=outages,
+        rank_changes=tuple(changes),
+        metadata={"seed": draw(st.integers(min_value=0, max_value=99))},
+    )
+    trace.validate()
+    return trace
+
+
+@given(trace=traces())
+@settings(max_examples=60, deadline=None)
+def test_round_trip_is_identity(trace):
+    rebuilt = trace_from_dict(trace_to_dict(trace))
+    assert rebuilt.duration == trace.duration
+    assert rebuilt.arrivals == trace.arrivals
+    assert rebuilt.reads == trace.reads
+    assert rebuilt.outages == trace.outages
+    assert rebuilt.rank_changes == trace.rank_changes
+    assert rebuilt.metadata == trace.metadata
+
+
+@given(trace=traces())
+@settings(max_examples=30, deadline=None)
+def test_round_trip_replays_identically(trace):
+    from repro.experiments.runner import run_scenario
+    from repro.proxy.policies import PolicyConfig
+
+    rebuilt = trace_from_dict(trace_to_dict(trace))
+    a = run_scenario(trace, PolicyConfig.unified())
+    b = run_scenario(rebuilt, PolicyConfig.unified())
+    assert a.stats.read_ids == b.stats.read_ids
+    assert a.stats.forwarded_ids == b.stats.forwarded_ids

@@ -1,0 +1,85 @@
+"""Unit tests for the rank-instability delay tracker."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.proxy.delay import DelayTracker
+from repro.units import DAY, HOUR
+
+
+class TestDefaults:
+    def test_no_drops_no_delay(self):
+        tracker = DelayTracker()
+        for _ in range(100):
+            tracker.record_publication()
+        assert tracker.current_delay() == 0.0
+        assert tracker.drop_fraction == 0.0
+
+    def test_delay_tracks_drop_percentile(self):
+        tracker = DelayTracker(percentile=0.95)
+        delays = [float(i) for i in range(1, 101)]  # 1..100 s
+        for delay in delays:
+            tracker.record_publication()
+            tracker.record_drop(delay)
+        assert tracker.current_delay() == pytest.approx(96.0, abs=2.0)
+
+    def test_delay_capped(self):
+        tracker = DelayTracker(max_delay=HOUR)
+        tracker.record_drop(5 * DAY)
+        assert tracker.current_delay() == HOUR
+
+    def test_negative_drop_delay_clamped(self):
+        tracker = DelayTracker()
+        tracker.record_drop(-5.0)
+        assert tracker.current_delay() == 0.0
+
+    def test_drop_fraction(self):
+        tracker = DelayTracker()
+        for _ in range(10):
+            tracker.record_publication()
+        tracker.record_drop(1.0)
+        tracker.record_drop(2.0)
+        assert tracker.drop_fraction == pytest.approx(0.2)
+
+    def test_window_slides(self):
+        tracker = DelayTracker(window=5, percentile=1.0)
+        for delay in (100.0, 1.0, 1.0, 1.0, 1.0, 1.0):
+            tracker.record_drop(delay)
+        assert tracker.current_delay() == pytest.approx(1.0)
+
+    def test_reset(self):
+        tracker = DelayTracker()
+        tracker.record_publication()
+        tracker.record_drop(10.0)
+        tracker.reset()
+        assert tracker.current_delay() == 0.0
+        assert tracker.publications == 0
+        assert tracker.drops == 0
+
+
+class TestCustomFormula:
+    def test_formula_hook(self):
+        tracker = DelayTracker(formula=lambda t: 123.0)
+        assert tracker.current_delay() == 123.0
+
+    def test_formula_capped_and_clamped(self):
+        assert DelayTracker(max_delay=10.0, formula=lambda t: 1e9).current_delay() == 10.0
+        assert DelayTracker(formula=lambda t: -5.0).current_delay() == 0.0
+
+    def test_formula_sees_tracker(self):
+        tracker = DelayTracker(formula=lambda t: float(t.drops))
+        tracker.record_drop(1.0)
+        tracker.record_drop(1.0)
+        assert tracker.current_delay() == 2.0
+
+
+class TestValidation:
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DelayTracker(percentile=0.0)
+        with pytest.raises(ConfigurationError):
+            DelayTracker(percentile=1.5)
+
+    def test_negative_max_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DelayTracker(max_delay=-1.0)

@@ -1,0 +1,82 @@
+"""Unit tests for the scheduled proxy garbage collector."""
+
+import pytest
+
+from repro.broker.message import Notification
+from repro.errors import ConfigurationError
+from repro.proxy.gc import GcConfig, ProxyGarbageCollector, collect
+from repro.proxy.policies import PolicyConfig
+from repro.proxy.proxy import LastHopProxy, ProxyConfig
+from repro.sim.engine import Simulator
+from repro.types import EventId, TopicId
+
+TOPIC = TopicId("t")
+
+
+class NullTransport:
+    def deliver(self, notification, mode):
+        pass
+
+    def retract(self, event_id):
+        pass
+
+
+def build_proxy(sim):
+    proxy = LastHopProxy(sim, NullTransport(), ProxyConfig(PolicyConfig.online()))
+    proxy.add_topic(TOPIC)
+    return proxy
+
+
+def publish(proxy, sim, event_id):
+    proxy.on_notification(
+        Notification(
+            event_id=EventId(event_id), topic=TOPIC, rank=1.0, published_at=sim.now
+        )
+    )
+
+
+class TestGcConfig:
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GcConfig(interval=0.0).validate()
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GcConfig(history_horizon=-1.0).validate()
+
+
+class TestSweeps:
+    def test_periodic_sweeps_fire(self):
+        sim = Simulator()
+        proxy = build_proxy(sim)
+        gc = ProxyGarbageCollector(sim, proxy, GcConfig(interval=10.0))
+        sim.run(until=35.0)
+        assert gc.sweeps == 3
+
+    def test_sweep_reclaims_history(self):
+        sim = Simulator()
+        proxy = build_proxy(sim)
+        for i in range(20):
+            publish(proxy, sim, i)
+        gc = ProxyGarbageCollector(
+            sim, proxy, GcConfig(interval=50.0, history_horizon=10.0)
+        )
+        sim.run(until=100.0)
+        assert gc.total_reclaimed >= 20
+        assert len(proxy.topic_state(TOPIC).history) == 0
+
+    def test_stop_cancels_future_sweeps(self):
+        sim = Simulator()
+        proxy = build_proxy(sim)
+        gc = ProxyGarbageCollector(sim, proxy, GcConfig(interval=10.0))
+        sim.run(until=15.0)
+        gc.stop()
+        sim.run(until=100.0)
+        assert gc.sweeps == 1
+
+    def test_collect_helper(self):
+        sim = Simulator()
+        proxy = build_proxy(sim)
+        gc = collect(sim, proxy, GcConfig(interval=5.0))
+        sim.run(until=12.0)
+        assert gc.sweeps == 2

@@ -1,0 +1,100 @@
+"""Unit tests for the proxy's moving averages."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.proxy.moving_average import IntervalAverage, MovingAverage
+
+
+class TestMovingAverage:
+    def test_empty_average_is_none(self):
+        ma = MovingAverage(window=3)
+        assert ma.value is None
+        assert ma.value_or(42.0) == 42.0
+        assert ma.count == 0
+
+    def test_average_of_observations(self):
+        ma = MovingAverage(window=5)
+        for v in (1.0, 2.0, 3.0):
+            ma.push(v)
+        assert ma.value == pytest.approx(2.0)
+        assert ma.count == 3
+
+    def test_window_slides(self):
+        ma = MovingAverage(window=2)
+        for v in (10.0, 20.0, 30.0):
+            ma.push(v)
+        assert ma.value == pytest.approx(25.0)
+        assert ma.count == 2
+
+    def test_reset(self):
+        ma = MovingAverage(window=3)
+        ma.push(5.0)
+        ma.reset()
+        assert ma.value is None
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MovingAverage(window=0)
+
+    def test_value_or_after_observations(self):
+        ma = MovingAverage(window=3)
+        ma.push(7.0)
+        assert ma.value_or(0.0) == pytest.approx(7.0)
+
+
+class TestIntervalAverage:
+    def test_needs_two_timestamps(self):
+        ia = IntervalAverage(window=3)
+        assert ia.value is None
+        ia.push(10.0)
+        assert ia.value is None
+        ia.push(14.0)
+        assert ia.value == pytest.approx(4.0)
+
+    def test_mean_of_gaps(self):
+        ia = IntervalAverage(window=10)
+        for t in (0.0, 2.0, 6.0, 12.0):
+            ia.push(t)
+        assert ia.value == pytest.approx(4.0)  # gaps 2, 4, 6
+
+    def test_window_slides_over_gaps(self):
+        ia = IntervalAverage(window=2)
+        for t in (0.0, 1.0, 3.0, 7.0):
+            ia.push(t)
+        assert ia.value == pytest.approx(3.0)  # last two gaps: 2, 4
+
+    def test_out_of_order_rejected(self):
+        ia = IntervalAverage()
+        ia.push(10.0)
+        with pytest.raises(ConfigurationError):
+            ia.push(5.0)
+
+    def test_equal_timestamps_allowed(self):
+        ia = IntervalAverage()
+        ia.push(5.0)
+        ia.push(5.0)
+        assert ia.value == pytest.approx(0.0)
+
+    def test_reset(self):
+        ia = IntervalAverage()
+        ia.push(1.0)
+        ia.push(2.0)
+        ia.reset()
+        assert ia.value is None
+        ia.push(100.0)  # does not raise after reset
+        ia.push(101.0)
+        assert ia.value == pytest.approx(1.0)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+       st.integers(min_value=1, max_value=10))
+@settings(max_examples=60)
+def test_property_moving_average_matches_naive(values, window):
+    ma = MovingAverage(window=window)
+    for v in values:
+        ma.push(v)
+    expected = sum(values[-window:]) / len(values[-window:])
+    assert ma.value == pytest.approx(expected, rel=1e-9, abs=1e-6)

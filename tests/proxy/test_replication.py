@@ -1,0 +1,142 @@
+"""Unit tests for primary/backup proxy replication."""
+
+import pytest
+
+from repro.broker.message import Notification
+from repro.errors import ReplicationError
+from repro.metrics.accounting import RunStats
+from repro.proxy.policies import PolicyConfig
+from repro.proxy.proxy import ProxyConfig
+from repro.proxy.replication import ReplicatedProxy
+from repro.sim.engine import Simulator
+from repro.types import EventId, NetworkStatus, TopicId
+
+TOPIC = TopicId("t")
+
+
+class FakeTransport:
+    def __init__(self):
+        self.delivered = []
+        self.retracted = []
+
+    def deliver(self, notification, mode):
+        self.delivered.append(notification.event_id)
+
+    def retract(self, event_id):
+        self.retracted.append(event_id)
+
+
+def build(policy=None, rank_threshold=0.0, delay=0.050):
+    sim = Simulator()
+    transport = FakeTransport()
+    proxy = ReplicatedProxy(
+        sim,
+        transport,
+        ProxyConfig(policy=policy or PolicyConfig.online()),
+        RunStats(),
+        replication_delay=delay,
+    )
+    proxy.add_topic(TOPIC, rank_threshold=rank_threshold)
+    return sim, transport, proxy
+
+
+def note(event_id, rank=1.0, published_at=0.0):
+    return Notification(
+        event_id=EventId(event_id), topic=TOPIC, rank=rank, published_at=published_at
+    )
+
+
+class TestNormalOperation:
+    def test_primary_serves_without_duplicates(self):
+        sim, transport, proxy = build()
+        proxy.on_notification(note(1))
+        proxy.on_notification(note(2))
+        sim.run()
+        assert sorted(transport.delivered) == [1, 2]  # once each
+
+    def test_backup_mirrors_forwarded_state(self):
+        sim, _transport, proxy = build()
+        proxy.on_notification(note(1))
+        sim.run()  # let the sync record land
+        backup_state = proxy._backup.topic_state(TOPIC)
+        assert EventId(1) in backup_state.forwarded
+        assert not backup_state.in_any_queue(EventId(1))
+
+    def test_read_bookkeeping_replicated(self):
+        sim, _transport, proxy = build(policy=PolicyConfig.unified())
+        proxy.on_read(TOPIC, 4, queue_size=0)
+        sim.run()
+        assert proxy._backup.topic_state(TOPIC).mean_read_size == pytest.approx(4.0)
+
+    def test_records_shipped_counted(self):
+        sim, _transport, proxy = build()
+        proxy.on_notification(note(1))
+        sim.run()
+        assert proxy.records_shipped >= 1
+
+
+class TestFailover:
+    def test_backup_takes_over_and_serves(self):
+        sim, transport, proxy = build()
+        proxy.on_notification(note(1))
+        sim.run()
+        proxy.fail_primary()
+        proxy.on_notification(note(2))
+        assert sorted(set(transport.delivered)) == [1, 2]
+        assert proxy.active is proxy._backup
+
+    def test_no_duplicate_for_synced_forwards(self):
+        sim, transport, proxy = build()
+        proxy.on_notification(note(1))
+        sim.run()  # sync record applied
+        proxy.fail_primary()
+        sim.run()
+        assert transport.delivered.count(EventId(1)) == 1
+
+    def test_in_flight_records_lost_cause_at_most_once_duplicates(self):
+        sim, transport, proxy = build(delay=10.0)
+        proxy.on_notification(note(1))
+        # Fail before the sync record (10 s in flight) lands.
+        proxy.fail_primary()
+        sim.run()
+        assert proxy.records_lost == 1
+        # The backup re-forwards: duplicate transfer, same id.
+        assert transport.delivered.count(EventId(1)) == 2
+
+    def test_double_failure_rejected(self):
+        _sim, _transport, proxy = build()
+        proxy.fail_primary()
+        with pytest.raises(ReplicationError):
+            proxy.fail_primary()
+
+    def test_failover_respects_link_status(self):
+        sim, transport, proxy = build()
+        proxy.on_network(NetworkStatus.DOWN)
+        proxy.on_notification(note(1))
+        proxy.fail_primary()
+        assert transport.delivered == []  # link is down for the backup too
+        proxy.on_network(NetworkStatus.UP)
+        assert transport.delivered == [1]
+
+    def test_reads_served_by_backup_after_failover(self):
+        sim, transport, proxy = build(policy=PolicyConfig.on_demand())
+        proxy.on_notification(note(1, rank=4.0))
+        sim.run()
+        proxy.fail_primary()
+        response = proxy.on_read(TOPIC, 2, queue_size=0)
+        assert [n.event_id for n in response.sent] == [1]
+
+
+class TestRetractionReplication:
+    def test_synced_retraction_not_resent(self):
+        sim, transport, proxy = build(rank_threshold=2.0)
+        proxy.on_notification(note(1, rank=3.0))
+        proxy.on_notification(note(1, rank=0.5))  # drop -> retraction
+        sim.run()
+        proxy.fail_primary()
+        sim.run()
+        assert transport.retracted.count(EventId(1)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ReplicationError):
+            ReplicatedProxy(Simulator(), FakeTransport(), replication_delay=-1.0)

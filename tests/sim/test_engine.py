@@ -1,0 +1,198 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_clock_starts_at_custom_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self, sim):
+        fired = []
+        for label in "abcde":
+            sim.schedule(1.0, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_zero_delay_fires_after_current_event(self, sim):
+        fired = []
+
+        def outer():
+            sim.schedule(0.0, fired.append, "inner")
+            fired.append("outer")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+
+    def test_events_scheduled_during_run_are_processed(self, sim):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 1)
+        sim.run()
+        assert fired == [1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancel_during_run(self, sim):
+        fired = []
+        later = sim.schedule(2.0, fired.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_drain_cancelled_compacts_heap(self, sim):
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles[:7]:
+            handle.cancel()
+        removed = sim.drain_cancelled()
+        assert removed == 7
+        assert sim.pending == 3
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=3.0)
+        assert fired == ["a"]
+        assert sim.now == 3.0
+
+    def test_run_until_can_resume(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=3.0)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_past_rejected(self, sim):
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_run_until_exact_event_time_includes_event(self, sim):
+        fired = []
+        sim.schedule(3.0, fired.append, "x")
+        sim.run(until=3.0)
+        assert fired == ["x"]
+
+    def test_reentrant_run_rejected(self, sim):
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestStep:
+    def test_step_fires_one_event(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        assert sim.step()
+        assert fired == ["a"]
+
+    def test_step_on_empty_queue_returns_false(self, sim):
+        assert not sim.step()
+
+    def test_step_skips_cancelled(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a").cancel()
+        sim.schedule(2.0, fired.append, "b")
+        assert sim.step()
+        assert fired == ["b"]
+
+
+class TestCounters:
+    def test_events_processed_counts_only_fired(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        sim.run()
+        assert sim.events_processed == 1
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_property_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=1e3), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_cancelled_events_never_fire(items):
+    sim = Simulator()
+    fired = []
+    for index, (delay, cancel) in enumerate(items):
+        handle = sim.schedule(delay, fired.append, index)
+        if cancel:
+            handle.cancel()
+    sim.run()
+    expected = {i for i, (_, cancel) in enumerate(items) if not cancel}
+    assert set(fired) == expected

@@ -1,0 +1,105 @@
+"""Unit tests for generator-based processes."""
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, ProcessExit
+
+
+def test_process_runs_on_schedule():
+    sim = Simulator()
+    beats = []
+
+    def heartbeat():
+        while True:
+            beats.append(sim.now)
+            yield 10.0
+
+    Process(sim, heartbeat())
+    sim.run(until=35.0)
+    assert beats == [0.0, 10.0, 20.0, 30.0]
+
+
+def test_process_with_start_delay():
+    sim = Simulator()
+    beats = []
+
+    def once():
+        beats.append(sim.now)
+        yield 1.0
+        beats.append(sim.now)
+
+    Process(sim, once(), start_delay=5.0)
+    sim.run()
+    assert beats == [5.0, 6.0]
+
+
+def test_process_finishes_when_body_returns():
+    sim = Simulator()
+
+    def body():
+        yield 1.0
+
+    process = Process(sim, body())
+    assert process.alive
+    sim.run()
+    assert not process.alive
+
+
+def test_interrupt_stops_future_steps():
+    sim = Simulator()
+    beats = []
+
+    def heartbeat():
+        while True:
+            beats.append(sim.now)
+            yield 10.0
+
+    process = Process(sim, heartbeat())
+    sim.run(until=15.0)
+    process.interrupt()
+    sim.run(until=50.0)
+    assert beats == [0.0, 10.0]
+    assert not process.alive
+
+
+def test_interrupt_raises_process_exit_inside_body():
+    sim = Simulator()
+    observed = []
+
+    def body():
+        try:
+            while True:
+                yield 5.0
+        except ProcessExit:
+            observed.append("cleanup")
+            raise
+
+    process = Process(sim, body())
+    sim.run(until=7.0)
+    process.interrupt()
+    assert observed == ["cleanup"]
+
+
+def test_interrupt_is_idempotent():
+    sim = Simulator()
+
+    def body():
+        yield 1.0
+
+    process = Process(sim, body())
+    process.interrupt()
+    process.interrupt()
+    assert not process.alive
+
+
+def test_negative_yield_treated_as_zero_delay():
+    sim = Simulator()
+    beats = []
+
+    def body():
+        beats.append(sim.now)
+        yield -5.0
+        beats.append(sim.now)
+
+    Process(sim, body())
+    sim.run()
+    assert beats == [0.0, 0.0]

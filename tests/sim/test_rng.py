@@ -1,0 +1,166 @@
+"""Unit tests for the seeded random source."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RandomSource(seed=42)
+        b = RandomSource(seed=42)
+        assert [a.uniform() for _ in range(20)] == [b.uniform() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(seed=1)
+        b = RandomSource(seed=2)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_spawn_is_stable(self):
+        parent1 = RandomSource(seed=9)
+        parent2 = RandomSource(seed=9)
+        assert parent1.spawn("x").uniform() == parent2.spawn("x").uniform()
+
+    def test_spawn_isolated_from_parent_consumption(self):
+        parent1 = RandomSource(seed=9)
+        parent2 = RandomSource(seed=9)
+        for _ in range(10):
+            parent1.uniform()  # consume the parent stream
+        assert parent1.spawn("x").uniform() == parent2.spawn("x").uniform()
+
+    def test_spawn_names_give_distinct_streams(self):
+        parent = RandomSource(seed=9)
+        assert parent.spawn("a").uniform() != parent.spawn("b").uniform()
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        rng = RandomSource(0)
+        values = [rng.uniform(2.0, 5.0) for _ in range(500)]
+        assert all(2.0 <= v < 5.0 for v in values)
+
+    def test_exponential_mean(self):
+        rng = RandomSource(0)
+        values = [rng.exponential(100.0) for _ in range(20000)]
+        assert sum(values) / len(values) == pytest.approx(100.0, rel=0.05)
+
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(0).exponential(0.0)
+
+    def test_lognormal_mean(self):
+        rng = RandomSource(0)
+        values = [rng.lognormal(50.0, sigma=1.0) for _ in range(40000)]
+        assert sum(values) / len(values) == pytest.approx(50.0, rel=0.1)
+
+    def test_lognormal_requires_positive_mean(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(0).lognormal(-1.0)
+
+    def test_poisson_mean_small_lambda(self):
+        rng = RandomSource(0)
+        values = [rng.poisson(3.0) for _ in range(20000)]
+        assert sum(values) / len(values) == pytest.approx(3.0, rel=0.05)
+
+    def test_poisson_mean_large_lambda_uses_normal_approx(self):
+        rng = RandomSource(0)
+        values = [rng.poisson(400.0) for _ in range(2000)]
+        assert sum(values) / len(values) == pytest.approx(400.0, rel=0.02)
+
+    def test_poisson_zero(self):
+        assert RandomSource(0).poisson(0.0) == 0
+
+    def test_poisson_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(0).poisson(-1.0)
+
+    def test_truncated_normal_respects_bounds(self):
+        rng = RandomSource(0)
+        values = [rng.truncated_normal(0.0, 10.0, -1.0, 1.0) for _ in range(200)]
+        assert all(-1.0 <= v <= 1.0 for v in values)
+
+    def test_truncated_normal_reversed_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(0).truncated_normal(0.0, 1.0, 2.0, 1.0)
+
+    def test_bernoulli_probability(self):
+        rng = RandomSource(0)
+        hits = sum(rng.bernoulli(0.3) for _ in range(20000))
+        assert hits / 20000 == pytest.approx(0.3, abs=0.02)
+
+    def test_integer_with_mean_fractional(self):
+        rng = RandomSource(0)
+        values = [rng.integer_with_mean(0.25, 0.0) for _ in range(20000)]
+        assert all(v >= 0 for v in values)
+        assert sum(values) / len(values) == pytest.approx(0.25, abs=0.02)
+
+    def test_integer_with_mean_integral(self):
+        rng = RandomSource(0)
+        values = [rng.integer_with_mean(4.0, 1.0) for _ in range(20000)]
+        assert sum(values) / len(values) == pytest.approx(4.0, rel=0.05)
+
+
+class TestPoissonProcess:
+    def test_times_within_interval_and_sorted(self):
+        rng = RandomSource(0)
+        times = list(rng.poisson_process(rate=0.1, start=10.0, end=500.0))
+        assert times == sorted(times)
+        assert all(10.0 < t < 500.0 for t in times)
+
+    def test_rate_matches_count(self):
+        rng = RandomSource(0)
+        times = list(rng.poisson_process(rate=0.01, start=0.0, end=1e6))
+        assert len(times) == pytest.approx(10000, rel=0.05)
+
+    def test_zero_rate_yields_nothing(self):
+        assert list(RandomSource(0).poisson_process(0.0, 0.0, 100.0)) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(RandomSource(0).poisson_process(-1.0, 0.0, 1.0))
+
+
+class TestCollections:
+    def test_choice_and_sample(self):
+        rng = RandomSource(0)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        picked = rng.sample(items, 4)
+        assert len(set(picked)) == 4
+        assert all(p in items for p in picked)
+
+    def test_shuffle_preserves_elements(self):
+        rng = RandomSource(0)
+        items = list(range(20))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.text(min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_property_spawn_deterministic(seed, name):
+    a = RandomSource(seed).spawn(name)
+    b = RandomSource(seed).spawn(name)
+    assert [a.uniform() for _ in range(3)] == [b.uniform() for _ in range(3)]
+
+
+@given(st.floats(min_value=0.01, max_value=60.0))
+@settings(max_examples=50)
+def test_property_poisson_nonnegative(lam):
+    rng = RandomSource(7)
+    assert all(rng.poisson(lam) >= 0 for _ in range(50))
+
+
+@given(st.floats(min_value=0.0, max_value=8.0), st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=50)
+def test_property_integer_with_mean_nonnegative(mean, std):
+    rng = RandomSource(3)
+    values = [rng.integer_with_mean(mean, std) for _ in range(30)]
+    assert all(isinstance(v, int) and v >= 0 for v in values)
+    assert all(math.isfinite(v) for v in values)

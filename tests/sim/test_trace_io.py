@@ -1,0 +1,78 @@
+"""Unit tests for trace serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_paired
+from repro.proxy.policies import PolicyConfig
+from repro.sim.trace_io import load_trace, save_trace, trace_from_dict, trace_to_dict
+from repro.workload.ranks import RankChangeConfig
+from repro.workload.scenario import build_trace
+
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def trace():
+    import dataclasses
+
+    config = dataclasses.replace(
+        make_config(days=10.0, outage_fraction=0.3, expiring_fraction=0.5),
+        rank_changes=RankChangeConfig(drop_fraction=0.1),
+    )
+    return build_trace(config, seed=5)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, trace):
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.duration == trace.duration
+        assert rebuilt.arrivals == trace.arrivals
+        assert rebuilt.reads == trace.reads
+        assert rebuilt.outages == trace.outages
+        assert rebuilt.rank_changes == trace.rank_changes
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        assert load_trace(path).arrivals == trace.arrivals
+
+    def test_dict_is_json_serializable(self, trace):
+        json.dumps(trace_to_dict(trace))
+
+    def test_replay_of_loaded_trace_matches(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        original = run_paired(trace, PolicyConfig.unified())
+        replayed = run_paired(load_trace(path), PolicyConfig.unified())
+        assert original.policy.stats.read_ids == replayed.policy.stats.read_ids
+        assert original.metrics.waste == replayed.metrics.waste
+        assert original.metrics.loss == replayed.metrics.loss
+
+
+class TestErrors:
+    def test_unknown_format_rejected(self, trace):
+        data = trace_to_dict(trace)
+        data["format"] = 99
+        with pytest.raises(ConfigurationError, match="format"):
+            trace_from_dict(data)
+
+    def test_missing_field_rejected(self, trace):
+        data = trace_to_dict(trace)
+        del data["arrivals"]
+        with pytest.raises(ConfigurationError, match="malformed"):
+            trace_from_dict(data)
+
+    def test_invalid_content_rejected(self, trace):
+        data = trace_to_dict(trace)
+        data["arrivals"][0]["time"] = -5.0  # outside [0, duration]
+        with pytest.raises(ConfigurationError):
+            trace_from_dict(data)
+
+    def test_non_json_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json at all {", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="JSON"):
+            load_trace(path)

@@ -1,0 +1,49 @@
+"""Unit tests for time units and formatting."""
+
+import pytest
+
+from repro.units import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    YEAR,
+    days,
+    format_duration,
+    hours,
+    minutes,
+    per_day,
+)
+
+
+class TestConversions:
+    def test_constants_consistent(self):
+        assert MINUTE == 60.0
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+        assert YEAR == 365 * DAY
+
+    def test_helpers(self):
+        assert days(2) == 2 * DAY
+        assert hours(3) == 3 * HOUR
+        assert minutes(90) == 1.5 * HOUR
+        assert per_day(32.0) == pytest.approx(32.0 / 86400.0)
+
+    def test_per_day_round_trips(self):
+        assert per_day(32.0) * DAY == pytest.approx(32.0)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (30.0, "30 s"),
+            (90.0, "1.5 min"),
+            (2 * HOUR, "2.0 hrs"),
+            (491520.0, "5.7 days"),
+            (3932160.0, "45.5 days"),
+        ],
+    )
+    def test_natural_units(self, seconds, expected):
+        assert format_duration(seconds) == expected

@@ -1,0 +1,52 @@
+"""The public API surface: imports, README snippet, and __all__ hygiene."""
+
+import repro
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_readme_quickstart_runs(self):
+        """The exact snippet from README.md, at reduced duration."""
+        from repro import PolicyConfig, ScenarioConfig, build_trace, run_paired
+        from repro.units import DAY
+
+        config = ScenarioConfig(duration=20 * DAY)
+        trace = build_trace(config, seed=42)
+        result = run_paired(trace, PolicyConfig.unified())
+        text = result.metrics.describe()
+        assert "waste" in text
+        assert "loss" in text
+        assert result.metrics.waste < 0.2
+        assert result.metrics.loss < 0.2
+
+    def test_key_types_importable_from_root(self):
+        from repro import (  # noqa: F401
+            AdHocNetwork,
+            Battery,
+            DeliverySchedule,
+            DeviceGroup,
+            DiurnalProfile,
+            QuietHours,
+            ReplicatedProxy,
+            ReplicationSpec,
+            TariffModel,
+            load_trace,
+            price_run,
+            save_trace,
+        )
+
+    def test_subpackages_import_cleanly(self):
+        import repro.broker  # noqa: F401
+        import repro.context  # noqa: F401
+        import repro.device  # noqa: F401
+        import repro.experiments  # noqa: F401
+        import repro.metrics  # noqa: F401
+        import repro.proxy  # noqa: F401
+        import repro.sim  # noqa: F401
+        import repro.workload  # noqa: F401

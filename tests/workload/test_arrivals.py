@@ -1,0 +1,152 @@
+"""Unit tests for notification arrival generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+from repro.units import DAY, HOUR
+from repro.workload.arrivals import (
+    ArrivalConfig,
+    ExpirationDistribution,
+    generate_arrivals,
+)
+
+
+class TestRate:
+    def test_event_frequency_controls_count(self, rng):
+        arrivals = generate_arrivals(
+            ArrivalConfig(events_per_day=32.0), duration=100 * DAY, rng=rng
+        )
+        assert len(arrivals) == pytest.approx(3200, rel=0.05)
+
+    def test_zero_rate_yields_nothing(self, rng):
+        assert generate_arrivals(ArrivalConfig(events_per_day=0.0), DAY, rng) == []
+
+    def test_times_sorted_within_duration(self, rng):
+        arrivals = generate_arrivals(ArrivalConfig(events_per_day=50.0), 10 * DAY, rng)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 10 * DAY for t in times)
+
+    def test_event_ids_sequential_from_offset(self, rng):
+        arrivals = generate_arrivals(
+            ArrivalConfig(events_per_day=10.0), 5 * DAY, rng, first_event_id=100
+        )
+        assert [a.event_id for a in arrivals] == list(
+            range(100, 100 + len(arrivals))
+        )
+
+
+class TestDeterminism:
+    def test_same_rng_seed_same_arrivals(self):
+        config = ArrivalConfig(events_per_day=20.0, expiring_fraction=0.5)
+        a = generate_arrivals(config, 10 * DAY, RandomSource(5))
+        b = generate_arrivals(config, 10 * DAY, RandomSource(5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        config = ArrivalConfig(events_per_day=20.0)
+        a = generate_arrivals(config, 10 * DAY, RandomSource(5))
+        b = generate_arrivals(config, 10 * DAY, RandomSource(6))
+        assert a != b
+
+
+class TestExpirations:
+    def test_no_expirations_by_default(self, rng):
+        arrivals = generate_arrivals(ArrivalConfig(events_per_day=20.0), 10 * DAY, rng)
+        assert all(a.expires_at is None for a in arrivals)
+
+    def test_expiring_fraction(self, rng):
+        config = ArrivalConfig(events_per_day=64.0, expiring_fraction=0.5)
+        arrivals = generate_arrivals(config, 60 * DAY, rng)
+        expiring = sum(1 for a in arrivals if a.expires_at is not None)
+        assert expiring / len(arrivals) == pytest.approx(0.5, abs=0.05)
+
+    def test_exponential_lifetime_mean(self, rng):
+        config = ArrivalConfig(
+            events_per_day=64.0, expiring_fraction=1.0, expiration_mean=HOUR
+        )
+        arrivals = generate_arrivals(config, 200 * DAY, rng)
+        lifetimes = [a.lifetime for a in arrivals]
+        assert sum(lifetimes) / len(lifetimes) == pytest.approx(HOUR, rel=0.05)
+
+    def test_fixed_lifetimes(self, rng):
+        config = ArrivalConfig(
+            events_per_day=16.0,
+            expiring_fraction=1.0,
+            expiration_mean=300.0,
+            expiration_distribution=ExpirationDistribution.FIXED,
+        )
+        arrivals = generate_arrivals(config, 10 * DAY, rng)
+        assert all(a.lifetime == pytest.approx(300.0) for a in arrivals)
+
+    def test_uniform_lifetimes_within_band(self, rng):
+        config = ArrivalConfig(
+            events_per_day=32.0,
+            expiring_fraction=1.0,
+            expiration_mean=1000.0,
+            expiration_distribution=ExpirationDistribution.UNIFORM,
+            expiration_spread=0.5,
+        )
+        arrivals = generate_arrivals(config, 30 * DAY, rng)
+        assert all(500.0 <= a.lifetime <= 1500.0 for a in arrivals)
+
+    def test_normal_lifetimes_positive(self, rng):
+        config = ArrivalConfig(
+            events_per_day=32.0,
+            expiring_fraction=1.0,
+            expiration_mean=100.0,
+            expiration_distribution=ExpirationDistribution.NORMAL,
+            expiration_spread=1.0,
+        )
+        arrivals = generate_arrivals(config, 30 * DAY, rng)
+        assert all(a.lifetime > 0 for a in arrivals)
+
+
+class TestRanks:
+    def test_ranks_within_default_scale(self, rng):
+        arrivals = generate_arrivals(ArrivalConfig(events_per_day=32.0), 30 * DAY, rng)
+        assert all(0.0 <= a.rank < 5.0 for a in arrivals)
+
+    def test_rank_mean_near_midpoint(self, rng):
+        arrivals = generate_arrivals(ArrivalConfig(events_per_day=64.0), 60 * DAY, rng)
+        mean_rank = sum(a.rank for a in arrivals) / len(arrivals)
+        assert mean_rank == pytest.approx(2.5, abs=0.1)
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_arrivals(ArrivalConfig(events_per_day=-1.0), DAY, rng)
+
+    def test_bad_expiring_fraction_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_arrivals(ArrivalConfig(expiring_fraction=1.5), DAY, rng)
+
+    def test_non_positive_duration_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_arrivals(ArrivalConfig(), 0.0, rng)
+
+    def test_bad_expiration_mean_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_arrivals(
+                ArrivalConfig(expiring_fraction=0.5, expiration_mean=0.0), DAY, rng
+            )
+
+
+@given(st.integers(min_value=0, max_value=1000), st.floats(min_value=1.0, max_value=64.0))
+@settings(max_examples=25, deadline=None)
+def test_property_arrivals_valid(seed, rate):
+    arrivals = generate_arrivals(
+        ArrivalConfig(events_per_day=rate, expiring_fraction=0.3),
+        duration=5 * DAY,
+        rng=RandomSource(seed),
+    )
+    times = [a.time for a in arrivals]
+    assert times == sorted(times)
+    ids = [a.event_id for a in arrivals]
+    assert len(set(ids)) == len(ids)
+    for a in arrivals:
+        assert a.expires_at is None or a.expires_at > a.time

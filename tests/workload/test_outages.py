@@ -1,0 +1,131 @@
+"""Unit tests for the outage process generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+from repro.units import DAY
+from repro.workload.outages import OutageConfig, generate_outages
+
+
+def downtime(outages, duration):
+    return sum(o.duration for o in outages) / duration
+
+
+class TestEndpoints:
+    def test_zero_fraction_yields_no_outages(self, rng):
+        assert generate_outages(OutageConfig(downtime_fraction=0.0), 30 * DAY, rng) == []
+
+    def test_full_fraction_yields_one_total_outage(self, rng):
+        outages = generate_outages(OutageConfig(downtime_fraction=1.0), 30 * DAY, rng)
+        assert len(outages) == 1
+        assert outages[0].start == 0.0
+        assert outages[0].end == 30 * DAY
+
+
+class TestFractionTargets:
+    @pytest.mark.parametrize("fraction", [0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99])
+    def test_normalized_fraction_close_to_target(self, fraction, rng):
+        duration = 200 * DAY
+        outages = generate_outages(
+            OutageConfig(downtime_fraction=fraction, outages_per_day=4.0),
+            duration,
+            rng.spawn(f"f{fraction}"),
+        )
+        assert downtime(outages, duration) == pytest.approx(fraction, abs=0.03)
+
+    def test_unnormalized_fraction_roughly_matches(self, rng):
+        duration = 400 * DAY
+        outages = generate_outages(
+            OutageConfig(downtime_fraction=0.5, normalize=False, outages_per_day=4.0),
+            duration,
+            rng,
+        )
+        assert downtime(outages, duration) == pytest.approx(0.5, abs=0.15)
+
+    def test_outages_per_day_controls_granularity(self, rng):
+        duration = 100 * DAY
+        few = generate_outages(
+            OutageConfig(downtime_fraction=0.5, outages_per_day=1.0),
+            duration,
+            rng.spawn("few"),
+        )
+        many = generate_outages(
+            OutageConfig(downtime_fraction=0.5, outages_per_day=8.0),
+            duration,
+            rng.spawn("many"),
+        )
+        assert len(many) > len(few) * 2
+
+
+class TestInvariants:
+    def test_outages_sorted_and_disjoint(self, rng):
+        outages = generate_outages(
+            OutageConfig(downtime_fraction=0.6, outages_per_day=6.0), 100 * DAY, rng
+        )
+        for earlier, later in zip(outages, outages[1:]):
+            assert earlier.end <= later.start
+
+    def test_outages_within_duration(self, rng):
+        duration = 50 * DAY
+        outages = generate_outages(
+            OutageConfig(downtime_fraction=0.8), duration, rng
+        )
+        assert all(0.0 <= o.start < o.end <= duration for o in outages)
+
+    def test_deterministic(self):
+        config = OutageConfig(downtime_fraction=0.4)
+        a = generate_outages(config, 50 * DAY, RandomSource(3))
+        b = generate_outages(config, 50 * DAY, RandomSource(3))
+        assert a == b
+
+    def test_zero_sigma_gives_fixed_durations(self, rng):
+        outages = generate_outages(
+            OutageConfig(
+                downtime_fraction=0.3,
+                outages_per_day=2.0,
+                duration_sigma=0.0,
+                normalize=False,
+            ),
+            60 * DAY,
+            rng,
+        )
+        durations = {round(o.duration, 6) for o in outages if o.end < 60 * DAY}
+        assert len(durations) == 1
+
+
+class TestValidation:
+    def test_bad_fraction_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_outages(OutageConfig(downtime_fraction=1.5), DAY, rng)
+
+    def test_bad_rate_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_outages(
+                OutageConfig(downtime_fraction=0.5, outages_per_day=0.0), DAY, rng
+            )
+
+    def test_non_positive_duration_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_outages(OutageConfig(downtime_fraction=0.5), 0.0, rng)
+
+
+@given(
+    st.integers(min_value=0, max_value=300),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_outages_disjoint_sorted_bounded(seed, fraction):
+    duration = 30 * DAY
+    outages = generate_outages(
+        OutageConfig(downtime_fraction=fraction), duration, RandomSource(seed)
+    )
+    previous_end = 0.0
+    for outage in outages:
+        assert outage.start >= previous_end
+        assert outage.end > outage.start
+        assert outage.end <= duration
+        previous_end = outage.end
+    assert downtime(outages, duration) <= 1.0 + 1e-9

@@ -1,0 +1,116 @@
+"""Unit tests for rank distributions and rank-change generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+from repro.sim.trace import ArrivalRecord
+from repro.types import EventId
+from repro.units import DAY, HOUR
+from repro.workload.ranks import (
+    MAX_RANK,
+    RankChangeConfig,
+    RankDistribution,
+    generate_rank_changes,
+)
+
+
+def make_arrivals(n, rng, spacing=100.0):
+    return [
+        ArrivalRecord(
+            time=i * spacing,
+            event_id=EventId(i),
+            rank=rng.uniform(0.0, MAX_RANK),
+        )
+        for i in range(n)
+    ]
+
+
+class TestRankDistribution:
+    def test_draws_within_range(self, rng):
+        dist = RankDistribution(low=1.0, high=3.0)
+        assert all(1.0 <= dist.draw(rng) < 3.0 for _ in range(200))
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RankDistribution(low=3.0, high=1.0).validate()
+
+
+class TestRankChanges:
+    def test_disabled_by_default(self, rng):
+        arrivals = make_arrivals(100, rng)
+        assert generate_rank_changes(RankChangeConfig(), arrivals, 10 * DAY, rng) == []
+
+    def test_drop_fraction_respected(self, rng):
+        arrivals = make_arrivals(4000, rng)
+        config = RankChangeConfig(drop_fraction=0.25, change_delay_mean=60.0)
+        changes = generate_rank_changes(config, arrivals, 40 * DAY, rng)
+        assert len(changes) / len(arrivals) == pytest.approx(0.25, abs=0.03)
+
+    def test_drops_land_in_drop_band(self, rng):
+        arrivals = make_arrivals(1000, rng)
+        config = RankChangeConfig(
+            drop_fraction=1.0, drop_to_low=0.0, drop_to_high=0.5, change_delay_mean=60.0
+        )
+        changes = generate_rank_changes(config, arrivals, 10 * DAY, rng)
+        assert changes
+        assert all(0.0 <= c.new_rank < 0.5 for c in changes)
+
+    def test_boosts_raise_rank_capped(self, rng):
+        arrivals = make_arrivals(1000, rng)
+        config = RankChangeConfig(
+            boost_fraction=1.0, boost_amount=2.0, change_delay_mean=60.0
+        )
+        changes = generate_rank_changes(config, arrivals, 10 * DAY, rng)
+        by_id = {a.event_id: a for a in arrivals}
+        assert changes
+        for change in changes:
+            original = by_id[change.event_id]
+            assert change.new_rank == pytest.approx(
+                min(MAX_RANK, original.rank + 2.0)
+            )
+
+    def test_changes_sorted_and_after_publication(self, rng):
+        arrivals = make_arrivals(500, rng)
+        config = RankChangeConfig(drop_fraction=0.5, change_delay_mean=HOUR)
+        changes = generate_rank_changes(config, arrivals, 10 * DAY, rng)
+        times = [c.time for c in changes]
+        assert times == sorted(times)
+        by_id = {a.event_id: a for a in arrivals}
+        assert all(c.time > by_id[c.event_id].time for c in changes)
+
+    def test_changes_beyond_duration_discarded(self, rng):
+        arrivals = make_arrivals(200, rng, spacing=10.0)
+        config = RankChangeConfig(drop_fraction=1.0, change_delay_mean=100 * DAY)
+        changes = generate_rank_changes(config, arrivals, 2000.0 + 1.0, rng)
+        # Nearly all delays exceed the trace duration.
+        assert len(changes) < 10
+
+    def test_mean_delay_matches_config(self, rng):
+        arrivals = make_arrivals(3000, rng)
+        config = RankChangeConfig(drop_fraction=1.0, change_delay_mean=HOUR)
+        changes = generate_rank_changes(config, arrivals, 100 * DAY, rng)
+        by_id = {a.event_id: a for a in arrivals}
+        delays = [c.time - by_id[c.event_id].time for c in changes]
+        assert sum(delays) / len(delays) == pytest.approx(HOUR, rel=0.1)
+
+
+class TestValidation:
+    def test_fractions_must_sum_below_one(self):
+        with pytest.raises(ConfigurationError):
+            RankChangeConfig(drop_fraction=0.7, boost_fraction=0.4).validate()
+
+    def test_bad_drop_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RankChangeConfig(
+                drop_fraction=0.1, drop_to_low=2.0, drop_to_high=1.0
+            ).validate()
+
+    def test_bad_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RankChangeConfig(drop_fraction=0.1, change_delay_mean=0.0).validate()
+
+    def test_enabled_flag(self):
+        assert not RankChangeConfig().enabled
+        assert RankChangeConfig(drop_fraction=0.1).enabled
+        assert RankChangeConfig(boost_fraction=0.1).enabled

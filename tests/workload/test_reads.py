@@ -1,0 +1,111 @@
+"""Unit tests for the user read schedule generator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+from repro.units import DAY, HOUR
+from repro.workload.reads import ReadConfig, generate_reads
+
+
+class TestFrequency:
+    def test_reads_per_day_controls_count(self, rng):
+        reads = generate_reads(ReadConfig(reads_per_day=2.0), 200 * DAY, rng)
+        assert len(reads) == pytest.approx(400, rel=0.1)
+
+    def test_fractional_frequency(self, rng):
+        reads = generate_reads(ReadConfig(reads_per_day=0.25), 400 * DAY, rng)
+        assert len(reads) == pytest.approx(100, rel=0.25)
+
+    def test_zero_frequency_yields_nothing(self, rng):
+        assert generate_reads(ReadConfig(reads_per_day=0.0), 30 * DAY, rng) == []
+
+    def test_paper_range_150_to_thousands(self, rng):
+        """One virtual year yields 'between 150 and several thousand user
+        reads, depending on the configuration' (paper §3)."""
+        low = generate_reads(
+            ReadConfig(reads_per_day=0.5), 365 * DAY, rng.spawn("low")
+        )
+        high = generate_reads(
+            ReadConfig(reads_per_day=16.0), 365 * DAY, rng.spawn("high")
+        )
+        assert 100 <= len(low) <= 300
+        assert len(high) > 4000
+
+
+class TestShape:
+    def test_times_sorted_and_within_duration(self, rng):
+        reads = generate_reads(ReadConfig(reads_per_day=4.0), 30 * DAY, rng)
+        times = [r.time for r in reads]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 30 * DAY for t in times)
+
+    def test_read_count_attached(self, rng):
+        reads = generate_reads(ReadConfig(reads_per_day=2.0, read_count=13), 30 * DAY, rng)
+        assert all(r.count == 13 for r in reads)
+
+    def test_reads_fall_inside_awake_window(self, rng):
+        """Reads land roughly between wake (7:00 ± jitter) and wake + 17 h."""
+        reads = generate_reads(ReadConfig(reads_per_day=8.0), 100 * DAY, rng)
+        for read in reads:
+            time_of_day = math.fmod(read.time, DAY)
+            # Allow generous slack for jitter around the nominal window.
+            assert 5.0 * HOUR <= time_of_day <= 25.0 * HOUR or time_of_day <= 1.0 * HOUR
+
+    def test_no_reads_in_middle_of_night(self, rng):
+        """The 02:00–05:00 band is always asleep (7:00 wake, ≤17 h awake)."""
+        reads = generate_reads(ReadConfig(reads_per_day=8.0), 200 * DAY, rng)
+        for read in reads:
+            time_of_day = math.fmod(read.time, DAY)
+            assert not (2.0 * HOUR < time_of_day < 5.0 * HOUR)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        config = ReadConfig(reads_per_day=3.0)
+        a = generate_reads(config, 30 * DAY, RandomSource(11))
+        b = generate_reads(config, 30 * DAY, RandomSource(11))
+        assert a == b
+
+
+class TestValidation:
+    def test_negative_frequency_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_reads(ReadConfig(reads_per_day=-1.0), DAY, rng)
+
+    def test_zero_read_count_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_reads(ReadConfig(read_count=0), DAY, rng)
+
+    def test_bad_wake_hour_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_reads(ReadConfig(wake_hour=25.0), DAY, rng)
+
+    def test_non_positive_duration_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_reads(ReadConfig(), -1.0, rng)
+
+    def test_mean_read_interval(self):
+        assert ReadConfig(reads_per_day=2.0).mean_read_interval == pytest.approx(
+            12 * HOUR
+        )
+        assert math.isinf(ReadConfig(reads_per_day=0.0).mean_read_interval)
+
+
+@given(
+    st.integers(min_value=0, max_value=500),
+    st.floats(min_value=0.0, max_value=32.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_reads_sorted_and_bounded(seed, frequency):
+    reads = generate_reads(
+        ReadConfig(reads_per_day=frequency), 10 * DAY, RandomSource(seed)
+    )
+    times = [r.time for r in reads]
+    assert times == sorted(times)
+    assert all(0.0 <= t < 10 * DAY for t in times)
+    assert all(r.count >= 1 for r in reads)
