@@ -1,0 +1,91 @@
+"""Benchmarks for the parallel sweep execution engine.
+
+Measures the same ``(x, seed)`` paired-run grid executed serially and
+through the process pool, plus the per-process trace cache that both
+paths share. The parallel/serial equivalence itself is asserted in
+``tests/experiments/test_parallel.py``; here we bound the cost and,
+where the machine has more than one CPU, demonstrate the speedup.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.parallel import PairedTask, run_pair_grid
+from repro.proxy.policies import PolicyConfig
+from repro.workload.scenario import (
+    build_trace,
+    build_trace_cached,
+    clear_trace_cache,
+)
+
+from tests.conftest import make_config
+
+#: 4 x values × 4 seeds = 16 paired runs, each a ~10-virtual-day
+#: baseline + policy simulation: enough work per task to amortize
+#: process start-up yet finish in seconds.
+GRID_XS = (0.5, 1.0, 2.0, 4.0)
+GRID_SEEDS = (0, 1, 2, 3)
+GRID_DAYS = 10.0
+
+
+def _grid():
+    return [
+        PairedTask(
+            x=x,
+            seed=seed,
+            config=make_config(days=GRID_DAYS, reads_per_day=x),
+            policy=PolicyConfig.unified(),
+        )
+        for x in GRID_XS
+        for seed in GRID_SEEDS
+    ]
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_bench_pair_grid_serial(benchmark):
+    tasks = _grid()
+    outcomes = benchmark(run_pair_grid, tasks, 1)
+    assert len(outcomes) == len(tasks)
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_bench_pair_grid_workers(benchmark):
+    tasks = _grid()
+    outcomes = benchmark(run_pair_grid, tasks, 4)
+    assert len(outcomes) == len(tasks)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="speedup needs >1 CPU; equivalence is still asserted elsewhere",
+)
+def test_parallel_grid_is_faster_than_serial():
+    tasks = _grid()
+    run_pair_grid(tasks[:1], jobs=2)  # warm the pool machinery / imports
+    started = time.perf_counter()
+    serial = run_pair_grid(tasks, jobs=1)
+    serial_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = run_pair_grid(tasks, jobs=min(4, os.cpu_count() or 1))
+    parallel_elapsed = time.perf_counter() - started
+    assert parallel == serial
+    assert parallel_elapsed < serial_elapsed / 1.5
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_bench_trace_build_uncached(benchmark):
+    config = make_config(days=GRID_DAYS)
+    trace = benchmark(build_trace, config, 0)
+    assert trace.arrivals
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_bench_trace_build_cached(benchmark):
+    config = make_config(days=GRID_DAYS)
+    clear_trace_cache()
+    build_trace_cached(config, seed=0)  # populate once
+    trace = benchmark(build_trace_cached, config, 0)
+    assert trace.arrivals
+    clear_trace_cache()

@@ -5,12 +5,20 @@
   on-line baseline and the policy under test over identical events.
 * :mod:`~repro.experiments.sweep` — generic parameter sweeps with
   optional seed replication.
+* :mod:`~repro.experiments.parallel` — deterministic fan-out of sweep
+  grids across worker processes (``jobs=N``).
 * :mod:`~repro.experiments.figures` — one module per paper figure plus
   the ablations; each regenerates the corresponding data series.
 * :mod:`~repro.experiments.report` — plain-text tables/series output.
 * :mod:`~repro.experiments.cli` — ``repro-lasthop`` command-line entry.
 """
 
+from repro.experiments.parallel import (
+    PairedOutcome,
+    PairedTask,
+    parallel_map,
+    run_pair_grid,
+)
 from repro.experiments.runner import (
     PairedResult,
     RunResult,
@@ -22,12 +30,16 @@ from repro.experiments.sweep import SweepPoint, sweep_1d
 from repro.experiments.report import Table, render_series, render_table
 
 __all__ = [
+    "PairedOutcome",
     "PairedResult",
+    "PairedTask",
     "RunResult",
     "SweepPoint",
     "Table",
+    "parallel_map",
     "render_series",
     "render_table",
+    "run_pair_grid",
     "run_paired",
     "run_paired_config",
     "run_scenario",

@@ -77,13 +77,19 @@ def run_figure(
     quiet: bool = False,
     fmt: str = "text",
     with_plots: bool = False,
+    jobs: Optional[int] = 1,
 ) -> str:
-    """Run one figure by name; returns the rendered tables."""
+    """Run one figure by name; returns the rendered tables.
+
+    ``jobs`` fans the figure's measurement grid across that many worker
+    processes (``0``/``None`` = one per CPU). Output is identical for
+    any value — results merge deterministically in grid order.
+    """
     module = ALL_FIGURES[name]
     config = _figure_config(module, days, seeds)
     progress = None if quiet else lambda line: print(f"  {line}", file=sys.stderr)
     started = time.time()
-    result = module.run(config, progress=progress)
+    result = module.run(config, progress=progress, jobs=jobs)
     tables = [result] if isinstance(result, Table) else list(result)
     rendered = export_tables(tables, fmt)
     if with_plots and fmt == "text":
@@ -146,6 +152,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write output to this file instead of stdout",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the figure's measurement grid "
+            "(0 = one per CPU; results are identical for any value)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines on stderr"
     )
     parser.add_argument(
@@ -171,7 +186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
     chunks = [
         run_figure(name, days=args.days, seeds=args.seeds, quiet=args.quiet,
-                   fmt=args.format, with_plots=args.plot)
+                   fmt=args.format, with_plots=args.plot, jobs=args.jobs)
         for name in names
     ]
     _emit("\n\n".join(chunks), args.output)

@@ -22,7 +22,12 @@ from repro.experiments.cooperation import (
     CooperationConfig,
     run_cooperative_paired,
 )
-from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.figures.common import (
+    EVENT_FREQUENCY,
+    measure_grid,
+    percent,
+    scenario,
+)
 from repro.experiments.report import Table
 from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
@@ -106,9 +111,20 @@ def measure_point(
     )
 
 
+def _grid(config: AblationCooperationConfig) -> List[Tuple[int, float]]:
+    """The (peers, ad-hoc availability) cells, in table order."""
+    cells: List[Tuple[int, float]] = []
+    for n_peers in config.peer_counts:
+        availabilities = (1.0,) if n_peers == 0 else config.adhoc_availabilities
+        for adhoc in availabilities:
+            cells.append((n_peers, adhoc))
+    return cells
+
+
 def run(
     config: AblationCooperationConfig = AblationCooperationConfig(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Table:
     table = Table(
         title=(
@@ -123,20 +139,26 @@ def run(
             "waste/loss are group-level and id-based",
         ],
     )
-    for n_peers in config.peer_counts:
-        availabilities = (1.0,) if n_peers == 0 else config.adhoc_availabilities
-        for adhoc in availabilities:
-            point = measure_point(config, n_peers, adhoc)
-            table.add_row(
-                n_peers, adhoc, percent(point.waste), percent(point.loss),
-                point.borrowed,
+    cells = _grid(config)
+    results = iter(
+        measure_grid(
+            measure_point,
+            [(config, n_peers, adhoc) for n_peers, adhoc in cells],
+            jobs=jobs,
+        )
+    )
+    for n_peers, adhoc in cells:
+        point = next(results)
+        table.add_row(
+            n_peers, adhoc, percent(point.waste), percent(point.loss),
+            point.borrowed,
+        )
+        if progress is not None:
+            progress(
+                f"ablation-cooperation peers={n_peers} adhoc={adhoc:g}: "
+                f"loss {percent(point.loss):.1f} % "
+                f"borrowed {point.borrowed:.0f}"
             )
-            if progress is not None:
-                progress(
-                    f"ablation-cooperation peers={n_peers} adhoc={adhoc:g}: "
-                    f"loss {percent(point.loss):.1f} % "
-                    f"borrowed {point.borrowed:.0f}"
-                )
     return table
 
 

@@ -19,7 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.figures.common import (
+    EVENT_FREQUENCY,
+    measure_grid,
+    percent,
+    scenario,
+)
 from repro.experiments.report import Table
 from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
@@ -113,6 +118,7 @@ def measure_point(
 def run(
     config: AblationDelayConfig = AblationDelayConfig(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Table:
     table = Table(
         title=(
@@ -135,9 +141,20 @@ def run(
             "dropped_pre_fwd: demotions absorbed at the proxy before forwarding",
         ],
     )
+    results = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, drop_fraction, delay)
+                for drop_fraction in config.drop_fractions
+                for delay in delay_variants().values()
+            ],
+            jobs=jobs,
+        )
+    )
     for drop_fraction in config.drop_fractions:
         for name, delay in delay_variants().items():
-            point = measure_point(config, drop_fraction, delay)
+            point = next(results)
             table.add_row(
                 drop_fraction,
                 name,

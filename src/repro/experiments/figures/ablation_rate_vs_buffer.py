@@ -16,7 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.figures.common import (
+    EVENT_FREQUENCY,
+    measure_grid,
+    percent,
+    scenario,
+)
 from repro.experiments.report import Table
 from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
@@ -83,6 +88,7 @@ def measure_point(
 def run(
     config: AblationRateConfig = AblationRateConfig(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Table:
     """Waste/loss per (policy, outage level)."""
     table = Table(
@@ -98,9 +104,20 @@ def run(
             "buffer-based is more effective",
         ],
     )
+    results = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, outage_fraction, policy)
+                for policy in policies().values()
+                for outage_fraction in config.outage_fractions
+            ],
+            jobs=jobs,
+        )
+    )
     for name, policy in policies().items():
         for outage_fraction in config.outage_fractions:
-            metrics = measure_point(config, outage_fraction, policy)
+            metrics = next(results)
             table.add_row(
                 name,
                 outage_fraction,

@@ -19,7 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.figures.common import (
+    EVENT_FREQUENCY,
+    measure_grid,
+    percent,
+    scenario,
+)
 from repro.experiments.report import Table
 from repro.experiments.runner import run_scenario
 from repro.metrics.waste_loss import pair_metrics
@@ -107,6 +112,7 @@ def measure_point(
 def run(
     config: AblationScheduleConfig = AblationScheduleConfig(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Table:
     table = Table(
         title=(
@@ -121,9 +127,20 @@ def run(
             "on-demand handling (still readable, later)",
         ],
     )
+    results = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, cap, quiet)
+                for cap in config.push_caps
+                for quiet in (False, True)
+            ],
+            jobs=jobs,
+        )
+    )
     for cap in config.push_caps:
         for quiet in (False, True):
-            point = measure_point(config, cap, quiet)
+            point = next(results)
             table.add_row(
                 "∞" if cap is None else cap,
                 "night" if quiet else "-",

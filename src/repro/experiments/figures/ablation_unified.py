@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.figures.common import (
+    EVENT_FREQUENCY,
+    measure_grid,
+    percent,
+    scenario,
+)
 from repro.experiments.report import Table
 from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
@@ -106,6 +111,7 @@ def measure_cell(
 def run(
     config: AblationUnifiedConfig = AblationUnifiedConfig(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Table:
     table = Table(
         title="Ablation: unified adaptive algorithm across heterogeneous workloads",
@@ -115,9 +121,20 @@ def run(
             "threshold = MA(read interval)",
         ],
     )
+    results = iter(
+        measure_grid(
+            measure_cell,
+            [
+                (config, scenario_config, policy)
+                for _spec, scenario_config in workloads(config.duration)
+                for policy in policies().values()
+            ],
+            jobs=jobs,
+        )
+    )
     for spec, scenario_config in workloads(config.duration):
         for name, policy in policies().items():
-            metrics = measure_cell(config, scenario_config, policy)
+            metrics = next(results)
             table.add_row(
                 spec.name, name, percent(metrics.waste), percent(metrics.loss)
             )

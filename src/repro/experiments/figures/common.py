@@ -13,9 +13,10 @@ larger buffers, a sensitivity the benchmarks expose separately.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.broker.subscriptions import UNLIMITED
+from repro.experiments.parallel import parallel_map
 from repro.units import YEAR
 from repro.workload.arrivals import ArrivalConfig, ExpirationDistribution
 from repro.workload.outages import OutageConfig
@@ -61,6 +62,23 @@ def scenario(
     return ScenarioConfig(
         duration=duration, seed=seed, arrivals=arrivals, reads=reads, outages=outages
     )
+
+
+def measure_grid(
+    measure: Callable[..., Any],
+    tasks: Sequence[Tuple[Any, ...]],
+    jobs: Optional[int] = 1,
+) -> List[Any]:
+    """Shared figure entry point: evaluate ``measure(*task)`` per cell.
+
+    Every figure module funnels its measurement grid through here, so
+    one ``jobs`` knob fans any figure across worker processes (results
+    always return in task order — the tables are identical for any
+    ``jobs``). ``measure`` must be a module-level function and the task
+    elements picklable when ``jobs`` exceeds 1; the frozen ``*Config``
+    dataclasses the figure modules pass satisfy that.
+    """
+    return parallel_map(measure, tasks, jobs=jobs)
 
 
 def percent(fraction: float) -> float:

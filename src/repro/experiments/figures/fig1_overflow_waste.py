@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.figures.common import (
+    EVENT_FREQUENCY,
+    measure_grid,
+    percent,
+    scenario,
+)
 from repro.experiments.report import Table
 from repro.experiments.runner import run_scenario
 from repro.metrics.analytic import expected_overflow_waste
@@ -67,6 +72,7 @@ def measure_point(
 def run(
     config: Fig1Config = Fig1Config(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Table:
     """Regenerate Figure 1: waste % per (Max, user frequency)."""
     headers = ["Max"] + [f"uf={uf:g}" for uf in config.user_frequencies] + ["formula(uf=1)"]
@@ -80,10 +86,21 @@ def run(
             "cells: waste %; paper formula: 100*(1 - uf*Max/ef) clamped to [0, 100]",
         ],
     )
+    wastes = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, user_frequency, max_per_read)
+                for max_per_read in config.max_values
+                for user_frequency in config.user_frequencies
+            ],
+            jobs=jobs,
+        )
+    )
     for max_per_read in config.max_values:
         row: List[object] = [max_per_read]
         for user_frequency in config.user_frequencies:
-            waste = measure_point(config, user_frequency, max_per_read)
+            waste = next(wastes)
             row.append(percent(waste))
             if progress is not None:
                 progress(
@@ -99,15 +116,25 @@ def run(
     return table
 
 
-def curves(config: Fig1Config = Fig1Config()) -> Dict[float, List[float]]:
+def curves(
+    config: Fig1Config = Fig1Config(), jobs: Optional[int] = 1
+) -> Dict[float, List[float]]:
     """The figure as {user frequency: [waste fraction per Max]}."""
-    result: Dict[float, List[float]] = {}
-    for user_frequency in config.user_frequencies:
-        result[user_frequency] = [
-            measure_point(config, user_frequency, max_per_read)
-            for max_per_read in config.max_values
-        ]
-    return result
+    wastes = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, user_frequency, max_per_read)
+                for user_frequency in config.user_frequencies
+                for max_per_read in config.max_values
+            ],
+            jobs=jobs,
+        )
+    )
+    return {
+        user_frequency: [next(wastes) for _max in config.max_values]
+        for user_frequency in config.user_frequencies
+    }
 
 
 def main() -> None:  # pragma: no cover - CLI glue

@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.figures.common import (
+    EVENT_FREQUENCY,
+    measure_grid,
+    percent,
+    scenario,
+)
 from repro.experiments.report import Table
 from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
@@ -65,6 +70,7 @@ def measure_point(
 def run(
     config: Fig2Config = Fig2Config(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Table:
     """Regenerate Figure 2: loss % per (outage fraction, user frequency)."""
     headers = ["outage"] + [f"uf={uf:g}" for uf in config.user_frequencies]
@@ -77,10 +83,21 @@ def run(
         headers=headers,
         notes=["cells: loss % relative to the on-line baseline on the same trace"],
     )
+    losses = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, user_frequency, outage_fraction)
+                for outage_fraction in config.outage_fractions
+                for user_frequency in config.user_frequencies
+            ],
+            jobs=jobs,
+        )
+    )
     for outage_fraction in config.outage_fractions:
         row: List[object] = [outage_fraction]
         for user_frequency in config.user_frequencies:
-            loss = measure_point(config, user_frequency, outage_fraction)
+            loss = next(losses)
             row.append(percent(loss))
             if progress is not None:
                 progress(
@@ -91,13 +108,23 @@ def run(
     return table
 
 
-def curves(config: Fig2Config = Fig2Config()) -> Dict[float, List[float]]:
+def curves(
+    config: Fig2Config = Fig2Config(), jobs: Optional[int] = 1
+) -> Dict[float, List[float]]:
     """The figure as {user frequency: [loss fraction per outage level]}."""
+    losses = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, user_frequency, outage_fraction)
+                for user_frequency in config.user_frequencies
+                for outage_fraction in config.outage_fractions
+            ],
+            jobs=jobs,
+        )
+    )
     return {
-        user_frequency: [
-            measure_point(config, user_frequency, outage_fraction)
-            for outage_fraction in config.outage_fractions
-        ]
+        user_frequency: [next(losses) for _outage in config.outage_fractions]
         for user_frequency in config.user_frequencies
     }
 

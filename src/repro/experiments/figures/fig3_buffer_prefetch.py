@@ -18,14 +18,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.figures.common import (
+    EVENT_FREQUENCY,
+    measure_grid,
+    percent,
+    scenario,
+)
 from repro.experiments.report import Table
 from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
 from repro.proxy.policies import PolicyConfig
 from repro.sim.trace import Trace
 from repro.units import YEAR
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 #: Paper's x axis (log scale, 1 … 65536).
 PREFETCH_LIMITS: Tuple[int, ...] = (
@@ -47,8 +52,10 @@ class Fig3Config:
 
 
 def _traces(config: Fig3Config, outage_fraction: float) -> List[Trace]:
+    # Cached: every prefetch limit sweeps against the same scenario, so
+    # each (outage, seed) trace is built once per process.
     return [
-        build_trace(
+        build_trace_cached(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,
@@ -88,6 +95,7 @@ def measure_point(
 def run(
     config: Fig3Config = Fig3Config(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Tuple[Table, Table]:
     """Regenerate both Figure 3 panels: (loss table, waste table)."""
     headers = ["limit"] + [f"outage={o:g}" for o in config.outage_fractions]
@@ -105,11 +113,22 @@ def run(
         headers=headers,
         notes=["cells: waste %"],
     )
+    results = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, outage_fraction, limit)
+                for limit in config.prefetch_limits
+                for outage_fraction in config.outage_fractions
+            ],
+            jobs=jobs,
+        )
+    )
     for limit in config.prefetch_limits:
         loss_row: List[object] = [limit]
         waste_row: List[object] = [limit]
         for outage_fraction in config.outage_fractions:
-            metrics = measure_point(config, outage_fraction, limit)
+            metrics = next(results)
             loss_row.append(percent(metrics.loss))
             waste_row.append(percent(metrics.waste))
             if progress is not None:
@@ -124,14 +143,22 @@ def run(
 
 
 def curves(
-    config: Fig3Config = Fig3Config(),
+    config: Fig3Config = Fig3Config(), jobs: Optional[int] = 1
 ) -> Dict[float, List[PairedMetrics]]:
     """The figure as {outage fraction: [metrics per prefetch limit]}."""
+    results = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, outage_fraction, limit)
+                for outage_fraction in config.outage_fractions
+                for limit in config.prefetch_limits
+            ],
+            jobs=jobs,
+        )
+    )
     return {
-        outage_fraction: [
-            measure_point(config, outage_fraction, limit)
-            for limit in config.prefetch_limits
-        ]
+        outage_fraction: [next(results) for _limit in config.prefetch_limits]
         for outage_fraction in config.outage_fractions
     }
 

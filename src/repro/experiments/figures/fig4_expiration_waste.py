@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.experiments.figures.common import (
     EVENT_FREQUENCY,
     MAX_UNLIMITED,
+    measure_grid,
     percent,
     scenario,
 )
@@ -72,6 +73,7 @@ def measure_point(
 def run(
     config: Fig4Config = Fig4Config(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Table:
     """Regenerate Figure 4: waste % per (expiration mean, user frequency)."""
     headers = ["expiration_s"] + [f"uf={uf:g}" for uf in config.user_frequencies]
@@ -83,10 +85,21 @@ def run(
         headers=headers,
         notes=["cells: waste %; lifetimes exponential with the given mean"],
     )
+    wastes = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, user_frequency, expiration_mean)
+                for expiration_mean in config.expiration_means
+                for user_frequency in config.user_frequencies
+            ],
+            jobs=jobs,
+        )
+    )
     for expiration_mean in config.expiration_means:
         row: List[object] = [expiration_mean]
         for user_frequency in config.user_frequencies:
-            waste = measure_point(config, user_frequency, expiration_mean)
+            waste = next(wastes)
             row.append(percent(waste))
             if progress is not None:
                 progress(
@@ -97,13 +110,23 @@ def run(
     return table
 
 
-def curves(config: Fig4Config = Fig4Config()) -> Dict[float, List[float]]:
+def curves(
+    config: Fig4Config = Fig4Config(), jobs: Optional[int] = 1
+) -> Dict[float, List[float]]:
     """The figure as {user frequency: [waste fraction per expiration]}."""
+    wastes = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, user_frequency, expiration_mean)
+                for user_frequency in config.user_frequencies
+                for expiration_mean in config.expiration_means
+            ],
+            jobs=jobs,
+        )
+    )
     return {
-        user_frequency: [
-            measure_point(config, user_frequency, expiration_mean)
-            for expiration_mean in config.expiration_means
-        ]
+        user_frequency: [next(wastes) for _mean in config.expiration_means]
         for user_frequency in config.user_frequencies
     }
 

@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.figures.common import (
+    EVENT_FREQUENCY,
+    measure_grid,
+    percent,
+    scenario,
+)
 from repro.experiments.report import Table
 from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
@@ -69,6 +74,7 @@ def measure_point(
 def run(
     config: Fig5Config = Fig5Config(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Table:
     """Regenerate Figure 5: loss % per (expiration mean, user frequency)."""
     headers = ["expiration_s"] + [f"uf={uf:g}" for uf in config.user_frequencies]
@@ -82,10 +88,21 @@ def run(
         headers=headers,
         notes=["cells: loss % relative to the on-line baseline on the same trace"],
     )
+    losses = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, user_frequency, expiration_mean)
+                for expiration_mean in config.expiration_means
+                for user_frequency in config.user_frequencies
+            ],
+            jobs=jobs,
+        )
+    )
     for expiration_mean in config.expiration_means:
         row: List[object] = [expiration_mean]
         for user_frequency in config.user_frequencies:
-            loss = measure_point(config, user_frequency, expiration_mean)
+            loss = next(losses)
             row.append(percent(loss))
             if progress is not None:
                 progress(
@@ -96,13 +113,23 @@ def run(
     return table
 
 
-def curves(config: Fig5Config = Fig5Config()) -> Dict[float, List[float]]:
+def curves(
+    config: Fig5Config = Fig5Config(), jobs: Optional[int] = 1
+) -> Dict[float, List[float]]:
     """The figure as {user frequency: [loss fraction per expiration]}."""
+    losses = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, user_frequency, expiration_mean)
+                for user_frequency in config.user_frequencies
+                for expiration_mean in config.expiration_means
+            ],
+            jobs=jobs,
+        )
+    )
     return {
-        user_frequency: [
-            measure_point(config, user_frequency, expiration_mean)
-            for expiration_mean in config.expiration_means
-        ]
+        user_frequency: [next(losses) for _mean in config.expiration_means]
         for user_frequency in config.user_frequencies
     }
 

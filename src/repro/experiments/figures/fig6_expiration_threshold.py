@@ -26,7 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.experiments.figures.common import EVENT_FREQUENCY, percent, scenario
+from repro.experiments.figures.common import (
+    EVENT_FREQUENCY,
+    measure_grid,
+    percent,
+    scenario,
+)
 from repro.experiments.report import Table
 from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
@@ -95,6 +100,7 @@ def measure_point(
 def run(
     config: Fig6Config = Fig6Config(),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> Tuple[Table, Table]:
     """Regenerate Figure 6 as (waste table, loss table)."""
     headers = ["threshold_s"] + [
@@ -115,11 +121,22 @@ def run(
         headers=headers,
         notes=["cells: loss %"],
     )
+    results = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, expiration_mean, threshold)
+                for threshold in config.thresholds
+                for expiration_mean in config.expiration_means
+            ],
+            jobs=jobs,
+        )
+    )
     for threshold in config.thresholds:
         waste_row: List[object] = [threshold]
         loss_row: List[object] = [threshold]
         for expiration_mean in config.expiration_means:
-            metrics = measure_point(config, expiration_mean, threshold)
+            metrics = next(results)
             waste_row.append(percent(metrics.waste))
             loss_row.append(percent(metrics.loss))
             if progress is not None:
@@ -135,14 +152,22 @@ def run(
 
 
 def curves(
-    config: Fig6Config = Fig6Config(),
+    config: Fig6Config = Fig6Config(), jobs: Optional[int] = 1
 ) -> Dict[float, List[PairedMetrics]]:
     """The figure as {expiration mean: [metrics per threshold]}."""
+    results = iter(
+        measure_grid(
+            measure_point,
+            [
+                (config, expiration_mean, threshold)
+                for expiration_mean in config.expiration_means
+                for threshold in config.thresholds
+            ],
+            jobs=jobs,
+        )
+    )
     return {
-        expiration_mean: [
-            measure_point(config, expiration_mean, threshold)
-            for threshold in config.thresholds
-        ]
+        expiration_mean: [next(results) for _threshold in config.thresholds]
         for expiration_mean in config.expiration_means
     }
 

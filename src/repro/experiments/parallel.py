@@ -1,0 +1,141 @@
+"""Parallel experiment execution.
+
+Every figure of the paper is a grid of independent ``(x, seed)`` paired
+runs — each builds its own trace, simulator, and statistics, so the grid
+is embarrassingly parallel. This module fans such grids across a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping the output
+**deterministic**: results are merged in submission order, so a parallel
+run is bit-for-bit identical to the serial one (same floats, same
+ordering), only faster.
+
+Design constraints, and how they are met:
+
+* **Picklable work items.** Sweep callers pass arbitrary callables
+  (``make_config`` / ``make_policy`` are often lambdas), which do not
+  pickle. The engine therefore evaluates those factories in the parent
+  and ships only frozen dataclasses across the process boundary:
+  a :class:`PairedTask` carries the built :class:`ScenarioConfig` and
+  :class:`PolicyConfig`; the compact :class:`PairedOutcome` comes back.
+* **Deterministic merge.** Futures are submitted in grid order and
+  harvested in that same order; stragglers simply make the harvest
+  block, never reorder it.
+* **No rebuilt traces.** Workers build traces through
+  :func:`repro.workload.scenario.build_trace_cached`, so the baseline
+  and policy runs of a pair — and every policy variant sweeping against
+  a fixed scenario — share one trace per ``(config, seed)``.
+* **Same-process fallback.** ``jobs=1`` (the default everywhere) runs
+  the exact same worker function inline, with no executor, no pickling,
+  and streaming results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import run_paired
+from repro.proxy.policies import PolicyConfig
+from repro.workload.scenario import ScenarioConfig, build_trace_cached
+
+
+def resolve_jobs(jobs: Optional[int], tasks: int) -> int:
+    """Number of worker processes to actually use.
+
+    ``None`` or a non-positive value means "one per CPU"; the result is
+    clamped to the task count so small grids never spawn idle workers.
+    """
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, tasks))
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple[Any, ...]],
+    jobs: Optional[int] = 1,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> List[Any]:
+    """Evaluate ``fn(*task)`` for every task, optionally across processes.
+
+    Results come back as a list in task order regardless of completion
+    order — the deterministic merge the figure pipeline depends on.
+    ``on_result(index, value)`` is invoked in task order as results
+    become available (progress reporting); with ``jobs=1`` it streams
+    after each task, with workers it streams as the in-order harvest
+    advances.
+
+    When ``jobs`` exceeds 1, ``fn`` must be a module-level function and
+    every task element picklable.
+    """
+    tasks = [task if isinstance(task, tuple) else (task,) for task in tasks]
+    effective = resolve_jobs(jobs, len(tasks))
+    results: List[Any] = []
+    if effective <= 1:
+        for index, task in enumerate(tasks):
+            value = fn(*task)
+            results.append(value)
+            if on_result is not None:
+                on_result(index, value)
+        return results
+    with ProcessPoolExecutor(max_workers=effective) as pool:
+        futures = [pool.submit(fn, *task) for task in tasks]
+        for index, future in enumerate(futures):
+            value = future.result()
+            results.append(value)
+            if on_result is not None:
+                on_result(index, value)
+    return results
+
+
+@dataclass(frozen=True)
+class PairedTask:
+    """One picklable ``(x, seed)`` cell of a sweep grid.
+
+    The scenario and policy are fully built in the parent (factories may
+    be lambdas), so the worker only replays frozen configuration.
+    """
+
+    x: float
+    seed: int
+    config: ScenarioConfig
+    policy: PolicyConfig
+
+
+@dataclass(frozen=True)
+class PairedOutcome:
+    """Compact picklable result of one paired run."""
+
+    x: float
+    seed: int
+    waste: float
+    loss: float
+    forwarded: int
+    messages_read: int
+
+
+def execute_pair(task: PairedTask) -> PairedOutcome:
+    """Worker: run one paired (baseline, policy) cell of a sweep grid."""
+    trace = build_trace_cached(task.config, seed=task.seed)
+    result = run_paired(trace, task.policy, threshold=task.config.threshold)
+    metrics = result.metrics
+    return PairedOutcome(
+        x=task.x,
+        seed=task.seed,
+        waste=metrics.waste,
+        loss=metrics.loss,
+        forwarded=metrics.forwarded,
+        messages_read=metrics.messages_read,
+    )
+
+
+def run_pair_grid(
+    tasks: Sequence[PairedTask],
+    jobs: Optional[int] = 1,
+    on_result: Optional[Callable[[int, PairedOutcome], None]] = None,
+) -> List[PairedOutcome]:
+    """Run a grid of paired cells; outcomes in task order."""
+    return parallel_map(
+        execute_pair, [(task,) for task in tasks], jobs=jobs, on_result=on_result
+    )

@@ -28,7 +28,7 @@ from repro.proxy.schedule import DeliverySchedule
 from repro.sim.engine import Simulator
 from repro.sim.trace import Trace
 from repro.types import EventId, TopicId, TopicType
-from repro.workload.scenario import ScenarioConfig, build_trace
+from repro.workload.scenario import ScenarioConfig, build_trace, build_trace_cached
 
 #: Topic id used for single-topic trace replays.
 DEFAULT_TOPIC = TopicId("experiment/topic")
@@ -195,8 +195,16 @@ def run_paired_config(
     config: ScenarioConfig,
     policy: PolicyConfig,
     seed: Optional[int] = None,
+    cache_trace: bool = True,
     **kwargs,
 ) -> PairedResult:
-    """Build the trace from a :class:`ScenarioConfig`, then run paired."""
-    trace = build_trace(config, seed=seed)
+    """Build the trace from a :class:`ScenarioConfig`, then run paired.
+
+    ``cache_trace`` reuses the per-process trace cache so sweeping
+    several policies against one ``(config, seed)`` builds the trace
+    once; trace generation is deterministic, so results are identical
+    either way.
+    """
+    builder = build_trace_cached if cache_trace else build_trace
+    trace = builder(config, seed=seed)
     return run_paired(trace, policy, threshold=config.threshold, **kwargs)

@@ -5,14 +5,20 @@ waste and/or loss, repeated for a family of curves. ``sweep_1d`` runs
 one curve: a list of x values, a function mapping x to a scenario
 config, a function mapping x to the policy, and optional replication
 across seeds with averaged metrics.
+
+The full ``(x, seed)`` grid executes through
+:mod:`repro.experiments.parallel`: with ``jobs=1`` (the default) it runs
+in-process exactly as before; with ``jobs>1`` the independent paired
+runs fan across worker processes and merge deterministically, so the
+resulting :class:`SweepPoint` list is bit-for-bit identical either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional
 
-from repro.experiments.runner import run_paired_config
+from repro.experiments.parallel import PairedOutcome, PairedTask, run_pair_grid
 from repro.metrics.summary import summarize
 from repro.proxy.policies import PolicyConfig
 from repro.workload.scenario import ScenarioConfig
@@ -43,44 +49,69 @@ class SweepPoint:
         return 100.0 * self.loss
 
 
+def _finalize_point(x: float, cell: List[PairedOutcome]) -> SweepPoint:
+    """Average one x value's seed replicas into a :class:`SweepPoint`."""
+    waste_summary = summarize([o.waste for o in cell])
+    loss_summary = summarize([o.loss for o in cell])
+    return SweepPoint(
+        x=float(x),
+        waste=waste_summary.mean,
+        loss=loss_summary.mean,
+        waste_std=waste_summary.std,
+        loss_std=loss_summary.std,
+        seeds=len(cell),
+        forwarded_mean=summarize([float(o.forwarded) for o in cell]).mean,
+        read_mean=summarize([float(o.messages_read) for o in cell]).mean,
+    )
+
+
 def sweep_1d(
-    xs: Sequence[float],
+    xs: Iterable[float],
     make_config: ConfigFactory,
     make_policy: PolicyFactory,
-    seeds: Sequence[int] = (0,),
+    seeds: Iterable[int] = (0,),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> List[SweepPoint]:
-    """Run one sweep curve, averaging metrics over ``seeds``."""
+    """Run one sweep curve, averaging metrics over ``seeds``.
+
+    ``jobs`` fans the ``(x, seed)`` grid across that many worker
+    processes (``None``/``0`` = one per CPU); the default of 1 runs
+    in-process. Results are identical for any ``jobs`` value.
+    """
+    # Materialize up front: generator arguments must survive being
+    # iterated once per x value (a generator previously ran its seeds
+    # only for the first x and then reported seeds=0).
+    xs = list(xs)
+    seeds = list(seeds)
+    tasks = [
+        PairedTask(x=float(x), seed=seed, config=make_config(x), policy=make_policy(x))
+        for x in xs
+        for seed in seeds
+    ]
+
     points: List[SweepPoint] = []
-    for x in xs:
-        config = make_config(x)
-        policy = make_policy(x)
-        wastes: List[float] = []
-        losses: List[float] = []
-        forwarded: List[float] = []
-        read: List[float] = []
-        for seed in seeds:
-            result = run_paired_config(config, policy, seed=seed)
-            wastes.append(result.metrics.waste)
-            losses.append(result.metrics.loss)
-            forwarded.append(float(result.metrics.forwarded))
-            read.append(float(result.metrics.messages_read))
-        waste_summary = summarize(wastes)
-        loss_summary = summarize(losses)
-        point = SweepPoint(
-            x=float(x),
-            waste=waste_summary.mean,
-            loss=loss_summary.mean,
-            waste_std=waste_summary.std,
-            loss_std=loss_summary.std,
-            seeds=len(list(seeds)),
-            forwarded_mean=summarize(forwarded).mean,
-            read_mean=summarize(read).mean,
-        )
+    pending: List[PairedOutcome] = []
+
+    def _drain(index: int, outcome: PairedOutcome) -> None:
+        # Outcomes arrive in (x, seed) order; every len(seeds)-th one
+        # completes the current x value's cell.
+        pending.append(outcome)
+        if len(pending) < len(seeds):
+            return
+        point = _finalize_point(xs[len(points)], pending)
+        pending.clear()
         points.append(point)
         if progress is not None:
             progress(
-                f"x={x:g}: waste {point.waste_percent:.1f} %, "
+                f"x={point.x:g}: waste {point.waste_percent:.1f} %, "
                 f"loss {point.loss_percent:.1f} %"
             )
+
+    run_pair_grid(tasks, jobs=jobs, on_result=_drain)
+    if not seeds:
+        # Preserve the serial path's behaviour: averaging zero seeds is
+        # a summarize() error, raised per x value.
+        for x in xs:
+            points.append(_finalize_point(x, []))
     return points

@@ -43,14 +43,19 @@ def summarize(values: Sequence[float]) -> Summary:
     if not values:
         raise ConfigurationError("cannot summarize an empty sample")
     count = len(values)
-    mean = sum(values) / count
+    minimum = min(values)
+    maximum = max(values)
+    # Accumulation rounding can push the mean a last-place unit outside
+    # the sample range (e.g. mean([0.2, 0.2, 0.2]) > 0.2); clamp so the
+    # minimum <= mean <= maximum invariant always holds.
+    mean = min(max(sum(values) / count, minimum), maximum)
     variance = sum((v - mean) ** 2 for v in values) / count
     return Summary(
         count=count,
         mean=mean,
         std=math.sqrt(variance),
-        minimum=min(values),
-        maximum=max(values),
+        minimum=minimum,
+        maximum=maximum,
     )
 
 

@@ -298,9 +298,18 @@ class LastHopProxy:
             )
         state.queue_size = queue_size
 
+        # Expired notifications still sitting in the queues (e.g. a read
+        # arriving on the expiry timestamp before the timer fires) are
+        # pruned and accounted here, not merely filtered out of ``best``:
+        # leaving them queued would let them crowd out live candidates
+        # and escape the waste accounting.
+        for queue in (state.outgoing, state.prefetch, state.holding):
+            for stale in queue.prune_expired(now):
+                self._stats.expired_at_proxy += 1
+                self._forget_event(state, stale.event_id)
+
         # "best ← get_highest_ranked(N, outgoing ∪ prefetch ∪ holding)"
         best = highest_ranked(n, state.outgoing, state.prefetch, state.holding)
-        best = [m for m in best if not m.is_expired(now)]
         candidates = len(best)
 
         # "difference ← get_highest_ranked(N, best ∪ client_events) \ client_events"
@@ -383,9 +392,10 @@ class LastHopProxy:
             return
         now = self._sim.now
 
-        # Rank-drop retractions ride the same link as soon as it is up.
+        # Rank-drop retractions ride the same link as soon as it is up,
+        # in the order the drops arrived (FIFO).
         while state.pending_retractions:
-            event_id = state.pending_retractions.pop()
+            event_id = state.pending_retractions.popleft()
             self._transport.retract(event_id)
             self._stats.retractions_sent += 1
 

@@ -17,17 +17,28 @@ from repro.broker.message import Notification
 from repro.types import EventId
 
 
+def _selection_key(notification: Notification) -> Tuple[float, float, EventId]:
+    """Sort key for ranked selection: rank descending, then oldest
+    first (publication time, then event id for full determinism)."""
+    return (-notification.rank, notification.published_at, notification.event_id)
+
+
 class RankedQueue:
     """A queue of notifications ordered by rank (highest first).
 
-    Ties break by insertion order, so two equally ranked notifications
-    come out oldest-first — matching a user reading equally important
-    news in publication order.
+    Ties break oldest-first — by publication time, then event id — so
+    two equally ranked notifications come out in publication order,
+    matching a user reading equally important news oldest-first. The
+    tie-break is explicit rather than insertion-order so it survives
+    re-queues and holds across queue unions.
     """
 
     def __init__(self, items: Iterable[Notification] = ()) -> None:
-        #: heap of (-rank, seq, event_id); stale entries are skipped.
-        self._heap: List[Tuple[float, int, EventId]] = []
+        #: heap of (-rank, published_at, seq, event_id); stale entries
+        #: are skipped. ``published_at`` before ``seq`` keeps the
+        #: oldest-first tie-break intact across re-queues, which would
+        #: otherwise reset the insertion order.
+        self._heap: List[Tuple[float, float, int, EventId]] = []
         self._items: Dict[EventId, Notification] = {}
         self._seq = itertools.count()
         for item in items:
@@ -38,7 +49,13 @@ class RankedQueue:
         its heap position (used after rank changes)."""
         self._items[notification.event_id] = notification
         heapq.heappush(
-            self._heap, (-notification.rank, next(self._seq), notification.event_id)
+            self._heap,
+            (
+                -notification.rank,
+                notification.published_at,
+                next(self._seq),
+                notification.event_id,
+            ),
         )
 
     def remove(self, event_id: EventId) -> Optional[Notification]:
@@ -60,7 +77,7 @@ class RankedQueue:
     def pop_highest(self) -> Optional[Notification]:
         """Remove and return the highest-ranked notification, or None."""
         while self._heap:
-            neg_rank, _seq, event_id = heapq.heappop(self._heap)
+            neg_rank, _published_at, _seq, event_id = heapq.heappop(self._heap)
             item = self._items.get(event_id)
             if item is None:
                 continue  # removed or stale duplicate entry
@@ -73,7 +90,7 @@ class RankedQueue:
     def peek_highest(self) -> Optional[Notification]:
         """Return (without removing) the highest-ranked notification."""
         while self._heap:
-            neg_rank, _seq, event_id = self._heap[0]
+            neg_rank, _published_at, _seq, event_id = self._heap[0]
             item = self._items.get(event_id)
             if item is None or -neg_rank != item.rank:
                 heapq.heappop(self._heap)
@@ -86,8 +103,7 @@ class RankedQueue:
         — the N highest-ranked members, without removal."""
         if n <= 0 or not self._items:
             return []
-        # Stable sort keeps insertion order within equal ranks.
-        ordered = sorted(self._items.values(), key=lambda m: -m.rank)
+        ordered = sorted(self._items.values(), key=_selection_key)
         return ordered[:n]
 
     def prune_expired(self, now: float) -> List[Notification]:
@@ -100,7 +116,7 @@ class RankedQueue:
     def compact(self) -> None:
         """Rebuild the heap, discarding stale lazy-deletion entries."""
         self._heap = [
-            (-item.rank, next(self._seq), event_id)
+            (-item.rank, item.published_at, next(self._seq), event_id)
             for event_id, item in self._items.items()
         ]
         heapq.heapify(self._heap)
@@ -125,8 +141,9 @@ class RankedQueue:
         return bool(self._items)
 
     def __iter__(self) -> Iterator[Notification]:
-        """Iterate members in rank order (highest first)."""
-        return iter(sorted(self._items.values(), key=lambda m: -m.rank))
+        """Iterate members in rank order (highest first, oldest first
+        within a rank)."""
+        return iter(sorted(self._items.values(), key=_selection_key))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RankedQueue({len(self._items)} items)"
@@ -136,7 +153,8 @@ def highest_ranked(n: int, *queues: RankedQueue) -> List[Notification]:
     """``get_highest_ranked(N, q1 ∪ q2 ∪ …)`` over several queues.
 
     Members appearing in multiple queues (which the proxy avoids, but
-    set semantics permit) are considered once.
+    set semantics permit) are considered once. Equal ranks come out
+    oldest-first regardless of which queue holds them.
     """
     seen: Dict[EventId, Notification] = {}
     for queue in queues:
@@ -144,5 +162,5 @@ def highest_ranked(n: int, *queues: RankedQueue) -> List[Notification]:
             seen.setdefault(item.event_id, item)
     if n <= 0:
         return []
-    members = sorted(seen.values(), key=lambda m: -m.rank)
+    members = sorted(seen.values(), key=_selection_key)
     return members[:n]

@@ -9,7 +9,8 @@ network status.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import deque
+from typing import Deque, Dict, Optional
 
 from repro.broker.message import Notification
 from repro.proxy.moving_average import IntervalAverage, MovingAverage
@@ -72,8 +73,9 @@ class TopicState:
         # Timer bookkeeping (not in the pseudo-code, which leaks timers).
         self.expiration_handles: Dict[EventId, EventHandle] = {}
         self.delay_handles: Dict[EventId, EventHandle] = {}
-        #: Rank-drop retractions waiting for the link to come back up.
-        self.pending_retractions: list = []
+        #: Rank-drop retractions waiting for the link to come back up,
+        #: sent FIFO so the device sees drops in the order they happened.
+        self.pending_retractions: Deque[EventId] = deque()
 
     # ------------------------------------------------------------------
     @property

@@ -10,8 +10,9 @@ events that both forwarding-policy scenarios replay.
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.rng import RandomSource
@@ -106,3 +107,39 @@ def build_trace(config: ScenarioConfig, seed: Optional[int] = None) -> Trace:
     trace.validate()
     trace.metadata["achieved_downtime"] = trace.downtime_fraction()
     return trace
+
+
+#: Per-process LRU of built traces, keyed by (config, seed). A paired
+#: sweep runs the baseline and the policy on the same trace, and curve
+#: families often sweep a policy knob against a fixed scenario, so the
+#: same (config, seed) trace is requested many times in a row.
+_TRACE_CACHE: "OrderedDict[Tuple[ScenarioConfig, int], Trace]" = OrderedDict()
+
+#: Traces kept per process. A one-year trace is ~10k small records, so
+#: even the full cache stays a few megabytes.
+TRACE_CACHE_SIZE: int = 32
+
+
+def build_trace_cached(config: ScenarioConfig, seed: Optional[int] = None) -> Trace:
+    """:func:`build_trace` behind a small per-process LRU cache.
+
+    Trace generation is deterministic in ``(config, seed)``, so a cache
+    hit returns the exact trace a fresh build would produce. Callers
+    must treat the returned trace as frozen (the runner already does:
+    each run materializes its own Notification objects).
+    """
+    key = (config, config.seed if seed is None else seed)
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        _TRACE_CACHE.move_to_end(key)
+        return cached
+    trace = build_trace(config, seed=seed)
+    _TRACE_CACHE[key] = trace
+    while len(_TRACE_CACHE) > TRACE_CACHE_SIZE:
+        _TRACE_CACHE.popitem(last=False)
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace (tests and long-lived processes)."""
+    _TRACE_CACHE.clear()

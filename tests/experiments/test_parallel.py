@@ -1,0 +1,157 @@
+"""Tests for the parallel sweep execution engine.
+
+The load-bearing property is determinism: for any ``jobs`` value the
+grid must come back in task order with bit-identical floats, so every
+figure's output is independent of how it was scheduled.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig1_overflow_waste
+from repro.experiments.parallel import (
+    PairedTask,
+    execute_pair,
+    parallel_map,
+    resolve_jobs,
+    run_pair_grid,
+)
+from repro.experiments.sweep import sweep_1d
+from repro.proxy.policies import PolicyConfig
+from repro.units import DAY
+
+from tests.conftest import make_config
+
+
+def _square(x):
+    """Module-level so it pickles into worker processes."""
+    return x * x
+
+
+def _pair(a, b):
+    return (a, b)
+
+
+class TestResolveJobs:
+    def test_explicit_value(self):
+        assert resolve_jobs(3, tasks=10) == 3
+
+    def test_zero_and_none_mean_cpu_count(self):
+        assert resolve_jobs(0, tasks=1000) >= 1
+        assert resolve_jobs(None, tasks=1000) >= 1
+
+    def test_clamped_to_task_count(self):
+        assert resolve_jobs(8, tasks=2) == 2
+        assert resolve_jobs(8, tasks=0) == 1
+
+
+class TestParallelMap:
+    def test_serial_preserves_order(self):
+        assert parallel_map(_square, [(3,), (1,), (2,)], jobs=1) == [9, 1, 4]
+
+    def test_workers_preserve_order(self):
+        tasks = [(i,) for i in range(20)]
+        assert parallel_map(_square, tasks, jobs=4) == [i * i for i in range(20)]
+
+    def test_bare_items_wrapped_as_single_argument(self):
+        assert parallel_map(_square, [2, 3], jobs=1) == [4, 9]
+
+    def test_multi_argument_tasks(self):
+        assert parallel_map(_pair, [(1, 2), (3, 4)], jobs=2) == [(1, 2), (3, 4)]
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_on_result_streams_in_task_order(self, jobs):
+        seen = []
+        parallel_map(
+            _square,
+            [(i,) for i in range(10)],
+            jobs=jobs,
+            on_result=lambda index, value: seen.append((index, value)),
+        )
+        assert seen == [(i, i * i) for i in range(10)]
+
+    def test_empty_grid(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+
+def _grid_tasks():
+    """A small fig1-style (x, seed) grid: overflow, on-line policy."""
+    tasks = []
+    for reads_per_day in (1.0, 2.0, 4.0):
+        for seed in (0, 1):
+            tasks.append(
+                PairedTask(
+                    x=reads_per_day,
+                    seed=seed,
+                    config=make_config(days=3.0, reads_per_day=reads_per_day),
+                    policy=PolicyConfig.online(),
+                )
+            )
+    return tasks
+
+
+class TestRunPairGrid:
+    def test_parallel_equals_serial(self):
+        tasks = _grid_tasks()
+        serial = run_pair_grid(tasks, jobs=1)
+        parallel = run_pair_grid(tasks, jobs=4)
+        assert parallel == serial  # bit-for-bit: same floats, same order
+
+    def test_deterministic_across_repeats(self):
+        tasks = _grid_tasks()
+        assert run_pair_grid(tasks, jobs=2) == run_pair_grid(tasks, jobs=2)
+
+    def test_worker_matches_inline_execution(self):
+        task = _grid_tasks()[0]
+        inline = execute_pair(task)
+        (shipped,) = run_pair_grid([task], jobs=1)
+        assert shipped == inline
+
+
+class TestSweepEquivalence:
+    def test_parallel_sweep_equals_serial(self):
+        # The ISSUE's acceptance bar: identical SweepPoint lists for a
+        # paper figure configuration (fig2-style overflow-loss sweep).
+        kwargs = dict(
+            xs=[1.0, 2.0, 4.0],
+            make_config=lambda uf: make_config(days=5.0, reads_per_day=uf),
+            make_policy=lambda _x: PolicyConfig.online(),
+            seeds=(0, 1),
+        )
+        serial = sweep_1d(**kwargs)
+        parallel = sweep_1d(jobs=4, **kwargs)
+        assert parallel == serial
+
+    def test_same_grid_twice_is_identical(self):
+        kwargs = dict(
+            xs=[2.0, 8.0],
+            make_config=lambda uf: make_config(days=5.0, reads_per_day=uf),
+            make_policy=lambda _x: PolicyConfig.unified(),
+            seeds=(0, 1, 2),
+            jobs=2,
+        )
+        assert sweep_1d(**kwargs) == sweep_1d(**kwargs)
+
+    def test_progress_streams_in_x_order_with_workers(self):
+        lines = []
+        sweep_1d(
+            xs=[1.0, 4.0],
+            make_config=lambda uf: make_config(days=3.0, reads_per_day=uf),
+            make_policy=lambda _x: PolicyConfig.online(),
+            seeds=(0, 1),
+            progress=lines.append,
+            jobs=4,
+        )
+        assert [line.split(":")[0] for line in lines] == ["x=1", "x=4"]
+
+
+class TestFigureEquivalence:
+    def test_fig1_table_identical_for_any_jobs(self):
+        config = fig1_overflow_waste.Fig1Config(
+            duration=2.0 * DAY,
+            max_values=(2, 8),
+            user_frequencies=(1.0, 4.0),
+        )
+        serial = fig1_overflow_waste.run(config, jobs=1)
+        parallel = fig1_overflow_waste.run(config, jobs=2)
+        assert parallel.rows == serial.rows
+        assert parallel.headers == serial.headers

@@ -28,6 +28,23 @@ class TestSweep1d:
         assert points[0].seeds == 3
         assert points[0].waste_std >= 0.0
 
+    def test_generator_inputs_consumed_once(self):
+        # Regression: generator ``seeds`` used to be exhausted after the
+        # first x, silently dropping replication for every later x (and
+        # then miscounting ``seeds`` from the spent iterator).
+        kwargs = dict(
+            make_config=lambda uf: make_config(days=3.0, reads_per_day=uf),
+            make_policy=lambda _x: PolicyConfig.online(),
+        )
+        from_lists = sweep_1d(xs=[1.0, 4.0], seeds=[0, 1], **kwargs)
+        from_generators = sweep_1d(
+            xs=(x for x in [1.0, 4.0]),
+            seeds=(s for s in [0, 1]),
+            **kwargs,
+        )
+        assert all(p.seeds == 2 for p in from_generators)
+        assert from_generators == from_lists
+
     def test_progress_callback_invoked(self):
         lines = []
         sweep_1d(

@@ -236,6 +236,36 @@ class TestExpirations:
         assert transport.delivered == []
         assert proxy.stats.accepted == 0
 
+    def test_read_prunes_expired_from_queues(self):
+        # A read that lands exactly on an expiry timestamp runs before
+        # the expiration timer (it was scheduled earlier, so it has a
+        # lower engine sequence number). The proxy must prune and
+        # account the expired event itself, not merely skip it.
+        sim, transport, proxy = build(PolicyConfig.on_demand())
+        responses = []
+        sim.schedule_at(
+            5.0, lambda: responses.append(proxy.on_read(TOPIC, 2, queue_size=0))
+        )
+        sim.schedule_at(
+            0.0, proxy.on_notification, note(1, rank=5.0, expires_at=5.0)
+        )
+        sim.schedule_at(0.0, proxy.on_notification, note(2, rank=1.0))
+        sim.run(until=5.0)
+        (response,) = responses
+        assert [n.event_id for n in response.sent] == [2]
+        assert response.candidates == 1  # the expired event never competed
+        assert proxy.stats.expired_at_proxy == 1
+        assert not proxy.topic_state(TOPIC).in_any_queue(EventId(1))
+
+    def test_read_pruning_not_double_counted_by_timer(self):
+        sim, _transport, proxy = build(PolicyConfig.on_demand())
+        sim.schedule_at(5.0, proxy.on_read, TOPIC, 1, 0)
+        sim.schedule_at(
+            0.0, proxy.on_notification, note(1, rank=5.0, expires_at=5.0)
+        )
+        sim.run(until=10.0)  # lets the (cancelled) expiry timer drain too
+        assert proxy.stats.expired_at_proxy == 1
+
 
 class TestRankChanges:
     def test_drop_below_threshold_before_forward_discards(self):
@@ -270,6 +300,23 @@ class TestRankChanges:
         assert transport.retracted == []
         proxy.on_network(NetworkStatus.UP)
         assert transport.retracted == [EventId(1)]
+
+    def test_retractions_flushed_in_drop_order(self):
+        # Retractions queued while the link is down go out FIFO: the
+        # device learns of rank drops in the order they happened.
+        _sim, transport, proxy = build(
+            PolicyConfig.buffer(prefetch_limit=8), rank_threshold=2.0
+        )
+        for i in (1, 2, 3):
+            proxy.on_notification(note(i, rank=3.0))
+        assert sorted(transport.delivered_ids) == [1, 2, 3]
+        proxy.on_network(NetworkStatus.DOWN)
+        for i in (2, 1, 3):  # drops arrive in this order
+            proxy.on_notification(note(i, rank=1.0))
+        assert transport.retracted == []
+        proxy.on_network(NetworkStatus.UP)
+        assert transport.retracted == [EventId(2), EventId(1), EventId(3)]
+        assert proxy.stats.retractions_sent == 3
 
     def test_retraction_sent_once(self):
         _sim, transport, proxy = build(

@@ -9,12 +9,12 @@ from repro.proxy.queues import RankedQueue, highest_ranked
 from repro.types import EventId, TopicId
 
 
-def note(event_id, rank, expires_at=None):
+def note(event_id, rank, published_at=0.0, expires_at=None):
     return Notification(
         event_id=EventId(event_id),
         topic=TopicId("t"),
         rank=rank,
-        published_at=0.0,
+        published_at=published_at,
         expires_at=expires_at,
     )
 
@@ -35,6 +35,31 @@ class TestBasics:
     def test_ties_break_by_insertion_order(self):
         queue = RankedQueue([note(1, 2.0), note(2, 2.0), note(3, 2.0)])
         assert [queue.pop_highest().event_id for _ in range(3)] == [1, 2, 3]
+
+    def test_ties_break_oldest_first_by_publication_time(self):
+        # Insertion order contradicts publication order; the documented
+        # contract (oldest first) must win.
+        queue = RankedQueue(
+            [note(1, 2.0, published_at=30.0), note(2, 2.0, published_at=10.0),
+             note(3, 2.0, published_at=20.0)]
+        )
+        assert [queue.pop_highest().event_id for _ in range(3)] == [2, 3, 1]
+
+    def test_ties_survive_requeue(self):
+        # Popping and re-adding the oldest must not demote it to the
+        # back of the tie (as an insertion-sequence tie-break would).
+        old, new = note(1, 2.0, published_at=0.0), note(2, 2.0, published_at=50.0)
+        queue = RankedQueue([old, new])
+        popped = queue.pop_highest()
+        assert popped is old
+        queue.add(popped)
+        assert queue.pop_highest() is old
+
+    def test_top_n_ties_oldest_first(self):
+        queue = RankedQueue(
+            [note(1, 2.0, published_at=40.0), note(2, 2.0, published_at=5.0)]
+        )
+        assert [m.event_id for m in queue.top_n(2)] == [2, 1]
 
     def test_peek_does_not_remove(self):
         queue = RankedQueue([note(1, 1.0)])
@@ -124,6 +149,12 @@ class TestTopN:
         q3 = RankedQueue([note(4, 5.0)])
         best = highest_ranked(3, q1, q2, q3)
         assert [m.event_id for m in best] == [4, 2, 3]
+
+    def test_highest_ranked_ties_oldest_first_across_queues(self):
+        q1 = RankedQueue([note(1, 2.0, published_at=25.0)])
+        q2 = RankedQueue([note(2, 2.0, published_at=10.0)])
+        best = highest_ranked(2, q1, q2)
+        assert [m.event_id for m in best] == [2, 1]
 
     def test_highest_ranked_deduplicates(self):
         shared = note(1, 2.0)

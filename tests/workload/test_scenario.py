@@ -10,7 +10,12 @@ from repro.workload.arrivals import ArrivalConfig
 from repro.workload.outages import OutageConfig
 from repro.workload.ranks import RankChangeConfig
 from repro.workload.reads import ReadConfig
-from repro.workload.scenario import ScenarioConfig, build_trace
+from repro.workload.scenario import (
+    ScenarioConfig,
+    build_trace,
+    build_trace_cached,
+    clear_trace_cache,
+)
 
 from tests.conftest import make_config
 
@@ -50,6 +55,30 @@ class TestBuildTrace:
     def test_config_seed_used_when_no_override(self):
         config = make_config(days=10.0, seed=9)
         assert build_trace(config).arrivals == build_trace(config, seed=9).arrivals
+
+    def test_cached_build_returns_same_object_and_same_content(self):
+        clear_trace_cache()
+        config = make_config(days=10.0)
+        first = build_trace_cached(config, seed=4)
+        second = build_trace_cached(config, seed=4)
+        assert second is first  # cache hit
+        fresh = build_trace(config, seed=4)
+        assert first.arrivals == fresh.arrivals
+        assert first.reads == fresh.reads
+        assert first.outages == fresh.outages
+        clear_trace_cache()
+
+    def test_cache_distinguishes_config_and_seed(self):
+        clear_trace_cache()
+        config = make_config(days=10.0)
+        assert build_trace_cached(config, seed=1) is not build_trace_cached(
+            config, seed=2
+        )
+        other = dataclasses.replace(config, threshold=2.0)
+        assert build_trace_cached(config, seed=1) is not build_trace_cached(
+            other, seed=1
+        )
+        clear_trace_cache()
 
     def test_metadata_records_parameters(self):
         trace = build_trace(make_config(days=10.0, outage_fraction=0.5), seed=3)
