@@ -8,7 +8,18 @@ on the scientific result). ``--benchmark-only`` runs just these.
 Full-scale (one virtual year) regeneration goes through the CLI::
 
     repro-lasthop all          # paper-scale, minutes per figure
+
+Every benchmark run additionally emits ``BENCH_core.json`` (micro-op
+timings plus per-figure wall clock at ``BENCH_DAYS``) next to the repo
+root — the perf trajectory ``scripts/bench_compare.py`` checks future
+changes against. Set ``BENCH_CORE_OUT`` to redirect it.
 """
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -21,3 +32,40 @@ BENCH_DAYS = 30 * DAY
 @pytest.fixture
 def bench_days():
     return BENCH_DAYS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_core.json`` from whatever benchmarks this run ran."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    rows = {}
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None or getattr(bench, "has_error", False):
+            continue
+        try:
+            rows[bench.fullname] = {
+                "group": bench.group,
+                "mean": stats.mean,
+                "min": stats.min,
+                "median": stats.median,
+                "stddev": stats.stddev,
+                "rounds": stats.rounds,
+                "ops": stats.ops,
+            }
+        except Exception:  # reporting must never fail the suite
+            continue  # benchmark collected no timing data
+    if not rows:
+        return
+    out = Path(os.environ.get("BENCH_CORE_OUT", session.config.rootpath / "BENCH_core.json"))
+    payload = {
+        "meta": {
+            "bench_days": BENCH_DAYS / DAY,
+            "python": sys.version.split()[0],
+            "machine": platform.machine(),
+            "unit": "seconds",
+        },
+        "benchmarks": rows,
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")

@@ -65,6 +65,38 @@ def test_bench_ranked_queue_churn(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_bench_read_path_m10k(benchmark):
+    """The READ hot path at M=10k queued notifications.
+
+    One READ costs a ranked selection (``top_n``) plus an expiry prune
+    over each queue; a year-long figure run performs this hundreds of
+    thousands of times with queues this deep when the user reads rarely.
+    No notification expires inside the measured window, so the work is
+    idempotent and every benchmark round sees the same M.
+    """
+    rng = RandomSource(5)
+    queue = RankedQueue(
+        Notification(
+            event_id=EventId(i),
+            topic=TopicId("t"),
+            rank=rng.uniform(0.0, 5.0),
+            published_at=rng.uniform(0.0, 1000.0),
+            expires_at=1_000_000.0 + rng.uniform(0.0, 1000.0),
+        )
+        for i in range(10_000)
+    )
+
+    def read_path():
+        total = 0
+        for _ in range(20):
+            total += len(queue.top_n(8))
+            queue.prune_expired(now=2_000.0)
+        return total
+
+    assert benchmark(read_path) == 160
+
+
+@pytest.mark.benchmark(group="micro")
 def test_bench_trace_generation(benchmark):
     config = ScenarioConfig(
         duration=90 * DAY,

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two ``BENCH_core.json`` files and fail on perf regressions.
+
+The benchmark suite (``pytest benchmarks --benchmark-only``) emits
+``BENCH_core.json`` — micro-op timings plus per-figure wall clock — via
+the hook in ``benchmarks/conftest.py``. This script diffs a current file
+against a checked-in baseline and exits non-zero when any shared
+benchmark regressed by more than the allowed fraction::
+
+    python scripts/bench_compare.py benchmarks/BENCH_core.json BENCH_core.json
+    python scripts/bench_compare.py baseline.json current.json --max-regression 0.25
+
+Comparison uses each benchmark's ``min`` by default: minimum round time
+is the least noise-sensitive statistic a shared CI runner produces.
+Benchmarks present on only one side are reported but never fail the
+check (new benchmarks must be allowed to land).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+
+def load_benchmarks(path: Path) -> Dict[str, dict]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"bench_compare: {path} does not exist")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"bench_compare: {path} is not valid JSON: {exc}")
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        sys.exit(f"bench_compare: {path} contains no benchmarks")
+    return benchmarks
+
+
+def format_seconds(value: float) -> str:
+    if value < 1e-3:
+        return f"{value * 1e6:8.1f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:8.2f}ms"
+    return f"{value:8.3f}s "
+
+
+def compare(
+    baseline: Dict[str, dict],
+    current: Dict[str, dict],
+    metric: str,
+    max_regression: float,
+) -> Tuple[int, str]:
+    """Return (number of regressions, rendered report)."""
+    lines = []
+    regressions = 0
+    shared = sorted(set(baseline) & set(current))
+    width = max((len(name) for name in shared), default=10)
+    for name in shared:
+        base = baseline[name].get(metric)
+        curr = current[name].get(metric)
+        if not isinstance(base, (int, float)) or not isinstance(curr, (int, float)) or base <= 0:
+            lines.append(f"  SKIP   {name}: metric {metric!r} missing or unusable")
+            continue
+        ratio = curr / base
+        delta = ratio - 1.0
+        verdict = "ok"
+        if delta > max_regression:
+            verdict = "REGRESSION"
+            regressions += 1
+        elif delta < -max_regression:
+            verdict = "improved"
+        lines.append(
+            f"  {verdict:10s} {name:<{width}s} "
+            f"{format_seconds(base)} -> {format_seconds(curr)}  ({delta:+7.1%})"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"  new        {name} (no baseline; not checked)")
+    for name in sorted(set(baseline) - set(current)):
+        lines.append(f"  missing    {name} (in baseline only; not checked)")
+    header = (
+        f"bench_compare: {len(shared)} shared benchmark(s), metric={metric!r}, "
+        f"threshold=+{max_regression:.0%}"
+    )
+    return regressions, "\n".join([header] + lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="checked-in BENCH_core.json baseline")
+    parser.add_argument("current", type=Path, help="freshly emitted BENCH_core.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown per benchmark (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=["min", "mean", "median"],
+        default="min",
+        help="per-benchmark statistic to compare (default: min)",
+    )
+    args = parser.parse_args(argv)
+    regressions, report = compare(
+        load_benchmarks(args.baseline),
+        load_benchmarks(args.current),
+        metric=args.metric,
+        max_regression=args.max_regression,
+    )
+    print(report)
+    if regressions:
+        print(f"bench_compare: {regressions} benchmark(s) regressed beyond the threshold")
+        return 1
+    print("bench_compare: no regression beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Small interpreter-compatibility helpers.
+
+The package supports Python 3.9+, but several performance features are
+only available on newer interpreters. Centralizing the feature checks
+here keeps the call sites declarative.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+#: Keyword arguments enabling ``__slots__`` generation on dataclasses.
+#: ``@dataclass(slots=True)`` exists from Python 3.10; on 3.9 the
+#: decorator falls back to ordinary ``__dict__``-backed instances, which
+#: are correct but allocate more and read attributes slower. High-volume
+#: record types (notifications, trace records, scheduler entries) use
+#: ``@dataclass(**DATACLASS_SLOTS)`` so hot runs on modern interpreters
+#: get the compact layout for free.
+DATACLASS_SLOTS: Dict[str, Any] = {"slots": True} if sys.version_info >= (3, 10) else {}

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro._compat import DATACLASS_SLOTS
 from repro.types import EventId, TopicId
 
 #: Nominal payload size used for bandwidth/battery accounting when the
@@ -24,7 +25,7 @@ from repro.types import EventId, TopicId
 DEFAULT_SIZE_BYTES: int = 512
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class Notification:
     """One event notification.
 

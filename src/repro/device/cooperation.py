@@ -138,9 +138,12 @@ class DeviceGroup:
             for peer in self._devices[1:]:
                 if peer.dead:
                     continue
-                for notification in peer.unread(topic):
+                # Lazy iteration: the threshold cut-off stops after the
+                # acceptable prefix instead of materializing (and rank-
+                # sorting) the peer's whole cache on every read.
+                for notification in peer.iter_unread(topic):
                     if notification.rank < threshold:
-                        break  # unread() is rank-ordered
+                        break  # iteration is rank-ordered
                     if notification.is_expired(now):
                         continue
                     if notification.event_id in self._stats.read_ids:

@@ -10,7 +10,7 @@ then consumes the top-N acceptable notifications from the local queue.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.broker.message import Notification
 from repro.device.battery import Battery
@@ -109,6 +109,15 @@ class ClientDevice:
     def unread(self, topic: TopicId) -> List[Notification]:
         """All unread notifications for a topic, highest rank first."""
         return list(self._queue(topic))
+
+    def iter_unread(self, topic: TopicId) -> Iterator[Notification]:
+        """Lazily iterate unread notifications, highest rank first.
+
+        Consumers that stop early (e.g. a threshold cut-off) pay only
+        for the prefix they consume; the queue must not be mutated
+        while the iterator is live.
+        """
+        return iter(self._queue(topic))
 
     def threshold(self, topic: TopicId) -> float:
         """The subscription Threshold the device applies to a topic."""

@@ -8,8 +8,10 @@ battery drain" (paper §2.3). Evicted messages therefore count as waste.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.broker.message import Notification
 from repro.errors import ConfigurationError
@@ -44,16 +46,16 @@ class StoragePolicy:
         """
         if not self.limited:
             return []
-        evictions: List[Notification] = []
         overflow = (len(queue) + 1) - self.max_messages
         if overflow <= 0:
             return []
-        residents = sorted(queue, key=lambda m: m.rank)  # lowest first
-        candidate_pool: List[Notification] = residents + [incoming]
-        candidate_pool.sort(key=lambda m: m.rank)
-        for victim in candidate_pool:
-            if overflow == 0:
-                break
-            evictions.append(victim)
-            overflow -= 1
-        return evictions
+        # ``nsmallest`` is stable (equivalent to ``sorted(...)[:n]``),
+        # so among equal ranks the queue's rank-ordered iteration
+        # (oldest first) decides and the incoming message goes last —
+        # the same victims the previous full double-sort produced, in
+        # O(M log overflow) instead of O(M log M).
+        return heapq.nsmallest(
+            overflow,
+            itertools.chain(queue, (incoming,)),
+            key=lambda m: m.rank,
+        )

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments import validate as validate_module
+from repro.sim import trace_cache
 from repro.experiments.ascii_plot import MARKERS, plot_table_columns
 from repro.experiments.export import export_tables
 from repro.experiments.figures import ALL_FIGURES
@@ -161,6 +162,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace-cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the on-disk trace cache; paired runs, repeated "
+            "invocations, and all --jobs workers reuse built traces stored "
+            "there (created if missing)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines on stderr"
     )
     parser.add_argument(
@@ -169,6 +181,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="append ASCII charts of the tables (text format only)",
     )
     args = parser.parse_args(argv)
+
+    trace_cache.configure(args.trace_cache)
 
     if args.figure == "list":
         for name, module in sorted(ALL_FIGURES.items()):

@@ -33,7 +33,7 @@ from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR
 from repro.workload.outages import OutageConfig
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 
 @dataclass(frozen=True)
@@ -83,7 +83,7 @@ def measure_point(
                 duration_sigma=config.reader_outage_sigma,
             ),
         )
-        trace = build_trace(base, seed=seed)
+        trace = build_trace_cached(base, seed=seed)
         policy = PolicyConfig.unified()
         if n_peers == 0:
             result = run_paired(trace, policy)

@@ -30,7 +30,7 @@ from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
 from repro.units import HOUR, YEAR
 from repro.workload.ranks import RankChangeConfig
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 DROP_FRACTIONS: Tuple[float, ...] = (0.0, 0.1, 0.3)
 
@@ -97,7 +97,7 @@ def measure_point(
                 change_delay_mean=config.drop_delay_mean,
             ),
         )
-        trace = build_trace(base, seed=seed)
+        trace = build_trace_cached(base, seed=seed)
         policy = PolicyConfig.unified(delay=delay)
         result = run_paired(trace, policy, threshold=THRESHOLD)
         wastes.append(result.metrics.waste)

@@ -27,7 +27,7 @@ from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 OUTAGE_FRACTIONS: Tuple[float, ...] = (0.0, 0.3, 0.7, 0.9)
 
@@ -60,7 +60,7 @@ def measure_point(
     losses: List[float] = []
     last: Optional[PairedMetrics] = None
     for seed in config.seeds:
-        trace = build_trace(
+        trace = build_trace_cached(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,

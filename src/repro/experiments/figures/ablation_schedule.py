@@ -32,7 +32,7 @@ from repro.proxy.policies import PolicyConfig
 from repro.proxy.schedule import DeliverySchedule, QuietHours
 from repro.types import TopicType
 from repro.units import DAY, HOUR, YEAR
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 PUSH_CAPS: Tuple[Optional[int], ...] = (None, 32, 16, 8, 4)
 
@@ -73,7 +73,7 @@ def measure_point(
         max_pushes_per_day=cap,
     )
     for seed in config.seeds:
-        trace = build_trace(
+        trace = build_trace_cached(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,

@@ -29,7 +29,7 @@ from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
 from repro.proxy.policies import PolicyConfig
 from repro.units import DAY, HOUR, YEAR
-from repro.workload.scenario import ScenarioConfig, build_trace
+from repro.workload.scenario import ScenarioConfig, build_trace_cached
 
 
 @dataclass(frozen=True)
@@ -92,7 +92,7 @@ def measure_cell(
     losses: List[float] = []
     last: Optional[PairedMetrics] = None
     for seed in config.seeds:
-        trace = build_trace(scenario_config, seed=seed)
+        trace = build_trace_cached(scenario_config, seed=seed)
         result = run_paired(trace, policy)
         wastes.append(result.metrics.waste)
         losses.append(result.metrics.loss)

@@ -30,7 +30,7 @@ from repro.metrics.analytic import expected_overflow_waste
 from repro.metrics.waste_loss import compute_waste
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 #: Paper's x axis: "Maximum Messages per Read".
 MAX_VALUES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
@@ -55,7 +55,7 @@ def measure_point(
     """Measured waste fraction at one (user frequency, Max) point."""
     wastes: List[float] = []
     for seed in config.seeds:
-        trace = build_trace(
+        trace = build_trace_cached(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,

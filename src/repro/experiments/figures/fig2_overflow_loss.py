@@ -25,7 +25,7 @@ from repro.experiments.report import Table
 from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 #: Paper's x axis: cumulative outage fractions (plus the endpoints the
 #: text highlights: just below 1, and exactly 1).
@@ -52,7 +52,7 @@ def measure_point(
     """Measured loss fraction of pure on-demand at one point."""
     losses: List[float] = []
     for seed in config.seeds:
-        trace = build_trace(
+        trace = build_trace_cached(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,

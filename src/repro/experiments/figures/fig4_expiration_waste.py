@@ -30,7 +30,7 @@ from repro.experiments.runner import run_scenario
 from repro.metrics.waste_loss import compute_waste
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 #: Paper's x axis: 16 s … 262144 s, log scale.
 EXPIRATION_MEANS: Tuple[float, ...] = (
@@ -55,7 +55,7 @@ def measure_point(
     """Measured waste fraction at one (user frequency, expiration) point."""
     wastes: List[float] = []
     for seed in config.seeds:
-        trace = build_trace(
+        trace = build_trace_cached(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,

@@ -30,7 +30,7 @@ from repro.experiments.report import Table
 from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 EXPIRATION_MEANS: Tuple[float, ...] = (
     16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
@@ -55,7 +55,7 @@ def measure_point(
     """Measured on-demand loss fraction at one point."""
     losses: List[float] = []
     for seed in config.seeds:
-        trace = build_trace(
+        trace = build_trace_cached(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,

@@ -37,7 +37,7 @@ from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR, format_duration
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 #: Paper's x axis: 64 s … 1048576 s (~12 days), log scale.
 THRESHOLDS: Tuple[float, ...] = (
@@ -70,7 +70,7 @@ def measure_point(
     losses: List[float] = []
     last: Optional[PairedMetrics] = None
     for seed in config.seeds:
-        trace = build_trace(
+        trace = build_trace_cached(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,

@@ -22,7 +22,11 @@ Design constraints, and how they are met:
 * **No rebuilt traces.** Workers build traces through
   :func:`repro.workload.scenario.build_trace_cached`, so the baseline
   and policy runs of a pair — and every policy variant sweeping against
-  a fixed scenario — share one trace per ``(config, seed)``.
+  a fixed scenario — share one trace per ``(config, seed)``. When the
+  parent has configured an on-disk cache (:mod:`repro.sim.trace_cache`,
+  the CLI's ``--trace-cache``), a pool initializer forwards it so all
+  workers — and later invocations — share built traces across process
+  boundaries too.
 * **Same-process fallback.** ``jobs=1`` (the default everywhere) runs
   the exact same worker function inline, with no executor, no pickling,
   and streaming results.
@@ -37,6 +41,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
+from repro.sim import trace_cache
 from repro.workload.scenario import ScenarioConfig, build_trace_cached
 
 
@@ -49,6 +54,17 @@ def resolve_jobs(jobs: Optional[int], tasks: int) -> int:
     if jobs is None or jobs <= 0:
         jobs = os.cpu_count() or 1
     return max(1, min(jobs, tasks))
+
+
+def _worker_init(trace_cache_dir: Optional[str]) -> None:
+    """Process-pool initializer: inherit the parent's trace-cache setup.
+
+    Worker processes start with fresh module state, so the parent's
+    :func:`repro.sim.trace_cache.configure` call would otherwise not
+    reach them — and every worker would regenerate traces the disk
+    cache already holds.
+    """
+    trace_cache.configure(trace_cache_dir)
 
 
 def parallel_map(
@@ -79,7 +95,12 @@ def parallel_map(
             if on_result is not None:
                 on_result(index, value)
         return results
-    with ProcessPoolExecutor(max_workers=effective) as pool:
+    cache_dir = trace_cache.active_dir()
+    with ProcessPoolExecutor(
+        max_workers=effective,
+        initializer=_worker_init,
+        initargs=(None if cache_dir is None else str(cache_dir),),
+    ) as pool:
         futures = [pool.submit(fn, *task) for task in tasks]
         for index, future in enumerate(futures):
             value = future.result()

@@ -18,7 +18,7 @@ from repro.metrics.analytic import expected_overflow_waste
 from repro.metrics.waste_loss import compute_waste
 from repro.proxy.policies import PolicyConfig
 from repro.units import DAY, HOUR, YEAR
-from repro.workload.scenario import build_trace
+from repro.workload.scenario import build_trace_cached
 
 
 @dataclass(frozen=True)
@@ -46,7 +46,7 @@ class ValidateConfig:
 
 
 def _check_fig1_formula(config: ValidateConfig) -> ClaimResult:
-    trace = build_trace(
+    trace = build_trace_cached(
         scenario(duration=config.duration, user_frequency=1.0, max_per_read=4),
         seed=config.seed,
     )
@@ -64,13 +64,13 @@ def _check_fig1_formula(config: ValidateConfig) -> ClaimResult:
 
 def _check_fig2_endpoints(config: ValidateConfig) -> ClaimResult:
     at_zero = run_paired(
-        build_trace(
+        build_trace_cached(
             scenario(duration=config.duration, outage_fraction=0.0), seed=config.seed
         ),
         PolicyConfig.on_demand(),
     ).metrics.loss
     at_full = run_paired(
-        build_trace(
+        build_trace_cached(
             scenario(duration=config.duration, outage_fraction=1.0), seed=config.seed
         ),
         PolicyConfig.on_demand(),
@@ -86,7 +86,7 @@ def _check_fig2_endpoints(config: ValidateConfig) -> ClaimResult:
 
 
 def _check_fig3_sweet_spot(config: ValidateConfig) -> ClaimResult:
-    trace = build_trace(
+    trace = build_trace_cached(
         scenario(duration=config.duration, outage_fraction=0.7), seed=config.seed
     )
     worst_waste = 0.0
@@ -111,7 +111,7 @@ def _check_fig3_sweet_spot(config: ValidateConfig) -> ClaimResult:
 
 
 def _check_fig3_plateau(config: ValidateConfig) -> ClaimResult:
-    trace = build_trace(
+    trace = build_trace_cached(
         scenario(duration=config.duration, outage_fraction=0.3), seed=config.seed
     )
     metrics = run_paired(trace, PolicyConfig.buffer(prefetch_limit=65536)).metrics
@@ -126,7 +126,7 @@ def _check_fig3_plateau(config: ValidateConfig) -> ClaimResult:
 
 
 def _check_fig4_crossover(config: ValidateConfig) -> ClaimResult:
-    short = build_trace(
+    short = build_trace_cached(
         scenario(
             duration=config.duration,
             user_frequency=4.0,
@@ -135,7 +135,7 @@ def _check_fig4_crossover(config: ValidateConfig) -> ClaimResult:
         ),
         seed=config.seed,
     )
-    long = build_trace(
+    long = build_trace_cached(
         scenario(
             duration=config.duration,
             user_frequency=4.0,
@@ -159,7 +159,7 @@ def _check_fig4_crossover(config: ValidateConfig) -> ClaimResult:
 
 def _check_fig5_rise_and_fall(config: ValidateConfig) -> ClaimResult:
     def loss_at(expiration: float, user_frequency: float) -> float:
-        trace = build_trace(
+        trace = build_trace_cached(
             scenario(
                 duration=config.duration,
                 user_frequency=user_frequency,
@@ -189,7 +189,7 @@ def _check_fig5_rise_and_fall(config: ValidateConfig) -> ClaimResult:
 
 
 def _check_fig6_gap(config: ValidateConfig) -> ClaimResult:
-    trace = build_trace(
+    trace = build_trace_cached(
         scenario(
             duration=config.duration,
             outage_fraction=0.9,
@@ -214,7 +214,7 @@ def _check_fig6_gap(config: ValidateConfig) -> ClaimResult:
 def _check_conclusion(config: ValidateConfig) -> ClaimResult:
     worst = 0.0
     for outage in (0.1, 0.5, 0.9):
-        trace = build_trace(
+        trace = build_trace_cached(
             scenario(duration=config.duration, outage_fraction=outage),
             seed=config.seed,
         )

@@ -313,12 +313,15 @@ class LastHopProxy:
         candidates = len(best)
 
         # "difference ← get_highest_ranked(N, best ∪ client_events) \ client_events"
+        # On a rank tie the client copy wins the slot (marker 0 sorts
+        # first), so an equally-ranked notification the device already
+        # holds is never re-sent over the last hop.
         client_ranks = [rank for _eid, rank in client_events]
         merged: List[Tuple[float, int, Optional[Notification]]] = []
         for rank in client_ranks:
-            merged.append((rank, 1, None))  # prefer keeping client copies
+            merged.append((rank, 0, None))  # prefer keeping client copies
         for item in best:
-            merged.append((item.rank, 0, item))
+            merged.append((item.rank, 1, item))
         merged.sort(key=lambda entry: (-entry[0], entry[1]))
         difference = [
             entry[2] for entry in merged[:n] if entry[2] is not None
@@ -536,10 +539,10 @@ class LastHopProxy:
         now = self._sim.now
         for state in self._states.values():
             for queue in (state.outgoing, state.prefetch, state.holding):
-                stale = queue.stale_entries
-                if stale > len(queue) + 16:
-                    queue.compact()
-                    reclaimed += stale
+                # Queues self-compact on mutation past the same threshold
+                # (RankedQueue.compact_if_stale); this sweep only mops up
+                # queues that went idle right after heavy churn.
+                reclaimed += queue.compact_if_stale()
             if history_horizon is not None:
                 cutoff = now - history_horizon
                 doomed = [

@@ -4,14 +4,23 @@ The paper's pseudo-code manipulates queues with set notation — union,
 difference, and ``get_highest_ranked(N, …)``. :class:`RankedQueue`
 provides exactly those operations efficiently: a lazy-deletion binary
 heap ordered by (rank descending, arrival order ascending) plus an
-id-keyed index for O(1) membership and removal.
+id-keyed index for O(1) membership and removal, and a companion
+expiration min-heap so pruning touches only members actually due.
+
+Complexity of the READ hot path (M queued, N requested, E expired,
+S stale lazy-deletion entries — bounded to O(M) by amortized
+compaction):
+
+* ``top_n`` / ``highest_ranked``: O(M) heap copy + O((N + S) log M)
+  pops, instead of the full O(M log M) sort per call.
+* ``prune_expired``: O((E + S) log M) — a no-op peek when nothing is
+  due, instead of an O(M) scan per READ.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.broker.message import Notification
 from repro.types import EventId
@@ -33,14 +42,22 @@ class RankedQueue:
     re-queues and holds across queue unions.
     """
 
+    #: A heap holding more than ``2·len + _COMPACT_SLACK`` entries is
+    #: mostly stale and gets rebuilt; rebuilding at that point costs
+    #: O(M) against the Ω(M) lazy deletions that caused it, so the
+    #: amortized overhead per mutation is O(1).
+    _COMPACT_SLACK = 16
+
     def __init__(self, items: Iterable[Notification] = ()) -> None:
-        #: heap of (-rank, published_at, seq, event_id); stale entries
-        #: are skipped. ``published_at`` before ``seq`` keeps the
-        #: oldest-first tie-break intact across re-queues, which would
-        #: otherwise reset the insertion order.
-        self._heap: List[Tuple[float, float, int, EventId]] = []
+        #: heap of (-rank, published_at, event_id); stale entries are
+        #: skipped. The entry *is* the selection key, so heap order,
+        #: ``top_n`` order, and iteration order always agree — which
+        #: also makes compaction semantically invisible.
+        self._heap: List[Tuple[float, float, EventId]] = []
+        #: min-heap of (expires_at, event_id) for the members that can
+        #: expire; lazily pruned like ``_heap``.
+        self._expiry: List[Tuple[float, EventId]] = []
         self._items: Dict[EventId, Notification] = {}
-        self._seq = itertools.count()
         for item in items:
             self.add(item)
 
@@ -50,20 +67,21 @@ class RankedQueue:
         self._items[notification.event_id] = notification
         heapq.heappush(
             self._heap,
-            (
-                -notification.rank,
-                notification.published_at,
-                next(self._seq),
-                notification.event_id,
-            ),
+            (-notification.rank, notification.published_at, notification.event_id),
         )
+        if notification.expires_at is not None:
+            heapq.heappush(self._expiry, (notification.expires_at, notification.event_id))
+        self.compact_if_stale()
 
     def remove(self, event_id: EventId) -> Optional[Notification]:
         """Remove by id. Returns the notification or None if absent.
 
         The heap entry is left in place and skipped lazily when popped.
         """
-        return self._items.pop(event_id, None)
+        item = self._items.pop(event_id, None)
+        if item is not None:
+            self.compact_if_stale()
+        return item
 
     def discard(self, notification: Notification) -> Optional[Notification]:
         """Set-notation convenience: ``queue \\ event``."""
@@ -77,7 +95,7 @@ class RankedQueue:
     def pop_highest(self) -> Optional[Notification]:
         """Remove and return the highest-ranked notification, or None."""
         while self._heap:
-            neg_rank, _published_at, _seq, event_id = heapq.heappop(self._heap)
+            neg_rank, _published_at, event_id = heapq.heappop(self._heap)
             item = self._items.get(event_id)
             if item is None:
                 continue  # removed or stale duplicate entry
@@ -90,7 +108,7 @@ class RankedQueue:
     def peek_highest(self) -> Optional[Notification]:
         """Return (without removing) the highest-ranked notification."""
         while self._heap:
-            neg_rank, _published_at, _seq, event_id = self._heap[0]
+            neg_rank, _published_at, event_id = self._heap[0]
             item = self._items.get(event_id)
             if item is None or -neg_rank != item.rank:
                 heapq.heappop(self._heap)
@@ -100,26 +118,68 @@ class RankedQueue:
 
     def top_n(self, n: int) -> List[Notification]:
         """The ``get_highest_ranked(N, queue)`` of the paper's pseudo-code
-        — the N highest-ranked members, without removal."""
+        — the N highest-ranked members, without removal.
+
+        Traverses a copy of the live heap, so the cost is an O(M) list
+        copy plus O(N log M) pops rather than a full sort.
+        """
         if n <= 0 or not self._items:
             return []
-        ordered = sorted(self._items.values(), key=_selection_key)
-        return ordered[:n]
+        out: List[Notification] = []
+        for item in self:
+            out.append(item)
+            if len(out) >= n:
+                break
+        return out
 
     def prune_expired(self, now: float) -> List[Notification]:
-        """Drop every expired member, returning them (for accounting)."""
-        expired = [m for m in self._items.values() if m.is_expired(now)]
-        for item in expired:
-            del self._items[item.event_id]
+        """Drop every expired member, returning them (for accounting).
+
+        Only entries actually due at ``now`` are touched (plus any stale
+        leftovers sharing their deadline); when nothing is due this is a
+        single heap peek.
+        """
+        expired: List[Notification] = []
+        heap = self._expiry
+        items = self._items
+        while heap and heap[0][0] <= now:
+            _expires_at, event_id = heapq.heappop(heap)
+            item = items.get(event_id)
+            if item is None or not item.is_expired(now):
+                continue  # removed meanwhile, or a stale duplicate entry
+            del items[event_id]
+            expired.append(item)
         return expired
 
     def compact(self) -> None:
-        """Rebuild the heap, discarding stale lazy-deletion entries."""
+        """Rebuild both heaps, discarding stale lazy-deletion entries."""
         self._heap = [
-            (-item.rank, item.published_at, next(self._seq), event_id)
+            (-item.rank, item.published_at, event_id)
             for event_id, item in self._items.items()
         ]
         heapq.heapify(self._heap)
+        self._expiry = [
+            (item.expires_at, event_id)
+            for event_id, item in self._items.items()
+            if item.expires_at is not None
+        ]
+        heapq.heapify(self._expiry)
+
+    def compact_if_stale(self, slack: Optional[int] = None) -> int:
+        """Compact when stale entries outnumber live ones (amortized).
+
+        Called automatically by :meth:`add` and :meth:`remove`, so a
+        rank-churn workload keeps the heap within a constant factor of
+        the live membership without any external sweep. Returns the
+        number of heap entries reclaimed (0 when below the threshold).
+        """
+        if slack is None:
+            slack = self._COMPACT_SLACK
+        if len(self._heap) - len(self._items) <= len(self._items) + slack:
+            return 0
+        before = len(self._heap) + len(self._expiry)
+        self.compact()
+        return before - (len(self._heap) + len(self._expiry))
 
     @property
     def stale_entries(self) -> int:
@@ -142,8 +202,23 @@ class RankedQueue:
 
     def __iter__(self) -> Iterator[Notification]:
         """Iterate members in rank order (highest first, oldest first
-        within a rank)."""
-        return iter(sorted(self._items.values(), key=_selection_key))
+        within a rank).
+
+        Lazy: consumers that stop early (e.g. a threshold cut-off) pay
+        O(k log M) for the k members they consume instead of a full
+        sort. Membership is snapshotted at the first ``next()``; members
+        removed mid-iteration are skipped from then on.
+        """
+        heap = self._heap.copy()
+        items = self._items
+        seen: Set[EventId] = set()
+        while heap:
+            neg_rank, _published_at, event_id = heapq.heappop(heap)
+            item = items.get(event_id)
+            if item is None or -neg_rank != item.rank or event_id in seen:
+                continue  # removed, stale after a rank change, or duplicate
+            seen.add(event_id)
+            yield item
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RankedQueue({len(self._items)} items)"
@@ -155,12 +230,20 @@ def highest_ranked(n: int, *queues: RankedQueue) -> List[Notification]:
     Members appearing in multiple queues (which the proxy avoids, but
     set semantics permit) are considered once. Equal ranks come out
     oldest-first regardless of which queue holds them.
+
+    Each queue is traversed lazily in rank order and the streams are
+    merged, so selecting N from a union of M members costs
+    O(M) heap copies plus O(N log M) — not a full O(M log M) sort.
     """
-    seen: Dict[EventId, Notification] = {}
-    for queue in queues:
-        for item in queue._items.values():
-            seen.setdefault(item.event_id, item)
     if n <= 0:
         return []
-    members = sorted(seen.values(), key=_selection_key)
-    return members[:n]
+    out: List[Notification] = []
+    seen: Set[EventId] = set()
+    for item in heapq.merge(*queues, key=_selection_key):
+        if item.event_id in seen:
+            continue
+        seen.add(item.event_id)
+        out.append(item)
+        if len(out) >= n:
+            break
+    return out

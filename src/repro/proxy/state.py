@@ -21,7 +21,37 @@ from repro.types import EventId, NetworkStatus, TopicId, TopicType
 
 
 class TopicState:
-    """All mutable proxy state for one (device, topic) pair."""
+    """All mutable proxy state for one (device, topic) pair.
+
+    Slotted: one instance lives for an entire run and its fields are
+    read on every NOTIFICATION/READ, so the fixed layout buys cheaper
+    attribute access and no per-instance ``__dict__``.
+    """
+
+    __slots__ = (
+        "topic",
+        "topic_type",
+        "rank_threshold",
+        "schedule",
+        "push_budget",
+        "quiet_wakeup",
+        "outgoing",
+        "prefetch",
+        "holding",
+        "history",
+        "forwarded",
+        "exp_times",
+        "old_reads",
+        "old_times",
+        "queue_size",
+        "prefetch_limit",
+        "expiration_threshold",
+        "delay",
+        "network",
+        "expiration_handles",
+        "delay_handles",
+        "pending_retractions",
+    )
 
     def __init__(
         self,

@@ -14,12 +14,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro._compat import DATACLASS_SLOTS
 from repro.errors import SimulationError
 
 Callback = Callable[..., None]
 
 
-@dataclass(order=True)
+@dataclass(order=True, **DATACLASS_SLOTS)
 class _ScheduledEvent:
     """Internal heap entry. Ordered by (time, seq) for determinism."""
 

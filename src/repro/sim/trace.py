@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 from repro.errors import ConfigurationError
 from repro.types import EventId, NetworkStatus
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class ArrivalRecord:
     """One notification arriving at the proxy from the wired network."""
 
@@ -36,7 +37,7 @@ class ArrivalRecord:
         return self.expires_at - self.time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class ReadRecord:
     """One user-initiated read (the user checks messages)."""
 
@@ -46,7 +47,7 @@ class ReadRecord:
     count: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class OutageRecord:
     """One contiguous interval during which the last-hop link is down."""
 
@@ -62,7 +63,7 @@ class OutageRecord:
         return self.start <= time < self.end
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class RankChangeRecord:
     """A publisher-side rank update for a previously published event."""
 

@@ -1,0 +1,167 @@
+"""On-disk, content-keyed cache of built traces.
+
+Trace generation is deterministic in ``(scenario config, seed)`` but not
+free: a one-year trace is tens of thousands of records behind several
+random processes. The per-process LRU in
+:func:`repro.workload.scenario.build_trace_cached` already de-duplicates
+within one process; this module extends that across *processes* and
+*invocations* — paired baseline/policy runs, repeated sweeps, and every
+``--jobs`` worker deserialize a previously built trace instead of
+regenerating it.
+
+The cache is a plain directory of the JSON files
+:mod:`repro.sim.trace_io` defines, named by a SHA-256 over the canonical
+JSON form of the scenario configuration plus the seed and the format
+versions. Writes are atomic (temp file + ``os.replace``), so concurrent
+workers racing to fill the same key are safe: last writer wins with
+byte-identical content.
+
+This module deliberately knows nothing about scenario *building* (which
+lives in the workload layer) — it only keys, loads, and stores, so the
+dependency arrow keeps pointing from workload to sim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace
+from repro.sim.trace_io import FORMAT_VERSION, trace_from_dict, trace_to_dict
+
+#: Bumped whenever the key derivation itself changes, invalidating every
+#: previously cached trace.
+KEY_VERSION = 1
+
+
+def _canonical_default(value: object) -> object:
+    """JSON fallback for config field types that are stable to hash.
+
+    Enum members hash as ``ClassName.MEMBER`` so two enums sharing a
+    value string still key differently.
+    """
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, Path):
+        return str(value)
+    raise TypeError(
+        f"Object of type {type(value).__name__} is not JSON serializable"
+    )
+
+
+def trace_key(config: object, seed: int) -> str:
+    """Stable content key for a ``(config, seed)`` pair.
+
+    ``config`` may be any (possibly nested) dataclass or any
+    JSON-serializable value (enum and Path fields included); two
+    structurally equal configurations produce the same key on any
+    machine and any process.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = config
+    try:
+        canonical = json.dumps(
+            {
+                "key_version": KEY_VERSION,
+                "trace_format": FORMAT_VERSION,
+                "config": payload,
+                "seed": seed,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=_canonical_default,
+        )
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"scenario config is not content-hashable: {exc}"
+        ) from exc
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class TraceDiskCache:
+    """A directory of cached traces keyed by :func:`trace_key`."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def path_for(self, key: str) -> Path:
+        return self._root / f"trace-{key}.json"
+
+    def load(self, config: object, seed: int) -> Optional[Trace]:
+        """Return the cached trace for ``(config, seed)``, or None.
+
+        A corrupt or truncated file (e.g. a survivor of a killed worker
+        on a filesystem without atomic replace) counts as a miss and is
+        removed so the caller's rebuild can replace it.
+        """
+        path = self.path_for(trace_key(config, seed))
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            trace = trace_from_dict(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, ConfigurationError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - another worker won the race
+                pass
+            return None
+        self.hits += 1
+        return trace
+
+    def store(self, config: object, seed: int, trace: Trace) -> Path:
+        """Persist a built trace atomically; returns its path."""
+        path = self.path_for(trace_key(config, seed))
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(trace_to_dict(trace)), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._root.glob("trace-*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceDiskCache({str(self._root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+#: Process-wide active cache, consulted by ``build_trace_cached``.
+#: ``repro.experiments.parallel`` forwards the configured directory to
+#: its worker processes so every worker shares the same cache.
+_ACTIVE: Optional[TraceDiskCache] = None
+
+
+def configure(directory: Union[str, Path, None]) -> Optional[TraceDiskCache]:
+    """Enable (or, with None, disable) the process-wide disk cache."""
+    global _ACTIVE
+    _ACTIVE = None if directory is None else TraceDiskCache(directory)
+    return _ACTIVE
+
+
+def active() -> Optional[TraceDiskCache]:
+    """The process-wide cache, or None when not configured."""
+    return _ACTIVE
+
+
+def active_dir() -> Optional[Path]:
+    """Directory of the process-wide cache, or None when not configured."""
+    return None if _ACTIVE is None else _ACTIVE.root

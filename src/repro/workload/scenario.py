@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sim import trace_cache
 from repro.sim.rng import RandomSource
 from repro.sim.trace import Trace
 from repro.units import YEAR
@@ -127,13 +128,25 @@ def build_trace_cached(config: ScenarioConfig, seed: Optional[int] = None) -> Tr
     hit returns the exact trace a fresh build would produce. Callers
     must treat the returned trace as frozen (the runner already does:
     each run materializes its own Notification objects).
+
+    When a process-wide :mod:`repro.sim.trace_cache` directory is
+    configured (``--trace-cache`` on the CLI), misses additionally
+    consult that on-disk cache before regenerating, and newly built
+    traces are persisted there — so paired runs, repeated sweeps, and
+    every ``--jobs`` worker across invocations share one build.
     """
-    key = (config, config.seed if seed is None else seed)
+    effective_seed = config.seed if seed is None else seed
+    key = (config, effective_seed)
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
         _TRACE_CACHE.move_to_end(key)
         return cached
-    trace = build_trace(config, seed=seed)
+    disk = trace_cache.active()
+    trace = disk.load(config, effective_seed) if disk is not None else None
+    if trace is None:
+        trace = build_trace(config, seed=seed)
+        if disk is not None:
+            disk.store(config, effective_seed, trace)
     _TRACE_CACHE[key] = trace
     while len(_TRACE_CACHE) > TRACE_CACHE_SIZE:
         _TRACE_CACHE.popitem(last=False)

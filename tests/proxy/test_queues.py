@@ -176,10 +176,61 @@ class TestMaintenance:
         queue = RankedQueue([note(i, float(i)) for i in range(20)])
         for i in range(15):
             queue.remove(EventId(i))
-        assert queue.stale_entries == 15
+        assert queue.stale_entries == 15  # below the auto-compact threshold
         queue.compact()
         assert queue.stale_entries == 0
         assert [m.event_id for m in queue.top_n(5)] == [19, 18, 17, 16, 15]
+
+    def test_prune_skips_entries_for_removed_members(self):
+        queue = RankedQueue([note(1, 1.0, expires_at=10.0), note(2, 2.0, expires_at=12.0)])
+        queue.remove(EventId(1))
+        expired = queue.prune_expired(now=11.0)
+        assert [m.event_id for m in expired] == []
+        assert EventId(2) in queue
+
+    def test_prune_after_rank_churn_returns_member_once(self):
+        item = note(1, 1.0, expires_at=10.0)
+        queue = RankedQueue([item])
+        for rank in (2.0, 3.0, 4.0):  # each reorder re-keys both heaps
+            item.rank = rank
+            queue.reorder(item)
+        expired = queue.prune_expired(now=10.0)
+        assert [m.event_id for m in expired] == [1]
+        assert not queue
+        assert queue.prune_expired(now=20.0) == []
+
+    def test_prune_returns_members_in_deadline_order(self):
+        queue = RankedQueue(
+            [note(1, 1.0, expires_at=30.0), note(2, 2.0, expires_at=10.0),
+             note(3, 3.0, expires_at=20.0)]
+        )
+        expired = queue.prune_expired(now=30.0)
+        assert [m.event_id for m in expired] == [2, 3, 1]
+
+    def test_stale_entries_bounded_under_rank_churn(self):
+        """Amortized self-compaction: stale lazy-deletion entries never
+        exceed live membership plus the constant slack, no matter how
+        long rank churn goes on."""
+        items = [note(i, float(i), expires_at=1e9) for i in range(50)]
+        queue = RankedQueue(items)
+        for round_number in range(200):
+            for item in items:
+                item.rank = float((item.event_id * 7 + round_number) % 97)
+                queue.reorder(item)
+            assert queue.stale_entries <= len(queue) + 16
+        assert len(queue) == 50
+        # Churn must not corrupt ranked selection.
+        best = queue.top_n(3)
+        assert [m.rank for m in best] == sorted((m.rank for m in items), reverse=True)[:3]
+
+    def test_compact_if_stale_reports_reclaimed_entries(self):
+        queue = RankedQueue([note(i, float(i), expires_at=100.0) for i in range(20)])
+        for i in range(15):
+            queue.remove(EventId(i))
+        assert queue.compact_if_stale() == 0  # 15 stale <= 5 live + 16 slack
+        # Forcing the threshold reclaims the stale entries of both heaps.
+        assert queue.compact_if_stale(slack=-1) == 30
+        assert queue.stale_entries == 0
 
 
 @given(

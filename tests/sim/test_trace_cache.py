@@ -1,0 +1,125 @@
+"""Tests for the on-disk, content-keyed trace cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.cli import run_figure
+from repro.sim import trace_cache
+from repro.sim.trace_cache import TraceDiskCache, trace_key
+from repro.workload.arrivals import ArrivalConfig
+from repro.workload.outages import OutageConfig
+from repro.workload.scenario import ScenarioConfig, build_trace, build_trace_cached, clear_trace_cache
+from repro.units import DAY
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    """Each test starts with no process-wide cache and an empty LRU."""
+    clear_trace_cache()
+    trace_cache.configure(None)
+    yield
+    clear_trace_cache()
+    trace_cache.configure(None)
+
+
+def small_config(**changes):
+    config = ScenarioConfig(
+        duration=5 * DAY,
+        arrivals=ArrivalConfig(events_per_day=16.0, expiring_fraction=0.5),
+        outages=OutageConfig(downtime_fraction=0.3, outages_per_day=2.0),
+    )
+    return dataclasses.replace(config, **changes) if changes else config
+
+
+class TestTraceKey:
+    def test_stable_for_equal_configs(self):
+        assert trace_key(small_config(), 3) == trace_key(small_config(), 3)
+
+    def test_differs_by_seed_and_config(self):
+        key = trace_key(small_config(), 3)
+        assert trace_key(small_config(), 4) != key
+        assert trace_key(small_config(threshold=1.0), 3) != key
+
+    def test_key_is_hex_digest(self):
+        key = trace_key(small_config(), 0)
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+
+class TestDiskCache:
+    def test_miss_then_hit_round_trips_exactly(self, tmp_path):
+        cache = TraceDiskCache(tmp_path)
+        config = small_config()
+        assert cache.load(config, 7) is None
+        built = build_trace(config, seed=7)
+        cache.store(config, 7, built)
+        loaded = cache.load(config, 7)
+        assert loaded == built
+        assert loaded.metadata == built.metadata
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_file_counts_as_miss_and_is_removed(self, tmp_path):
+        cache = TraceDiskCache(tmp_path)
+        config = small_config()
+        path = cache.path_for(trace_key(config, 0))
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.load(config, 0) is None
+        assert not path.exists()
+
+    def test_store_is_atomic_no_tmp_left_behind(self, tmp_path):
+        cache = TraceDiskCache(tmp_path)
+        config = small_config()
+        cache.store(config, 0, build_trace(config, seed=0))
+        assert len(list(tmp_path.glob("*.tmp"))) == 0
+        assert len(cache) == 1
+
+
+class TestBuildTraceCachedDiskLayer:
+    def test_disk_cache_fills_and_serves(self, tmp_path):
+        cache = trace_cache.configure(tmp_path)
+        config = small_config()
+        first = build_trace_cached(config, seed=2)
+        assert len(cache) == 1
+        # A fresh process (simulated by clearing the LRU) hits the disk.
+        clear_trace_cache()
+        second = build_trace_cached(config, seed=2)
+        assert cache.hits == 1
+        assert second == first
+        assert second.metadata == first.metadata
+
+    def test_without_configuration_no_files_are_written(self, tmp_path):
+        config = small_config()
+        build_trace_cached(config, seed=2)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_disk_trace_replays_identically(self, tmp_path):
+        """The JSON round-trip must not perturb a single float: a run
+        driven by a disk-loaded trace equals a run on the fresh build."""
+        from repro.experiments.runner import run_paired
+        from repro.proxy.policies import PolicyConfig
+
+        config = small_config()
+        fresh = build_trace(config, seed=5)
+        trace_cache.configure(tmp_path)
+        build_trace_cached(config, seed=5)  # populate disk
+        clear_trace_cache()
+        from_disk = build_trace_cached(config, seed=5)
+        result_fresh = run_paired(fresh, PolicyConfig.unified())
+        result_disk = run_paired(from_disk, PolicyConfig.unified())
+        assert result_disk.metrics == result_fresh.metrics
+
+
+class TestFigureDeterminism:
+    def test_figure_run_warm_cache_equals_cold_byte_for_byte(self, tmp_path):
+        """ISSUE acceptance: a figure run with the trace cache warm is
+        byte-for-byte identical to the cold run that filled it."""
+        trace_cache.configure(tmp_path)
+        kwargs = dict(days=3.0, seeds=[0], quiet=True, fmt="csv")
+        cold = run_figure("fig2", **kwargs)
+        assert len(trace_cache.active()) > 0
+        clear_trace_cache()  # drop the in-process LRU; force the disk path
+        warm = run_figure("fig2", **kwargs)
+        assert trace_cache.active().hits > 0
+        assert warm == cold
