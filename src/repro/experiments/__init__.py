@@ -14,14 +14,20 @@
 """
 
 from repro.experiments.parallel import (
+    BatchCell,
     PairedOutcome,
     PairedTask,
+    ScenarioBatchTask,
+    execute_batch,
+    group_paired_tasks,
     parallel_map,
     run_pair_grid,
 )
 from repro.experiments.runner import (
     PairedResult,
     RunResult,
+    configure_baseline_cache,
+    run_baseline,
     run_paired,
     run_paired_config,
     run_scenario,
@@ -30,15 +36,21 @@ from repro.experiments.sweep import SweepPoint, sweep_1d
 from repro.experiments.report import Table, render_series, render_table
 
 __all__ = [
+    "BatchCell",
     "PairedOutcome",
     "PairedResult",
     "PairedTask",
     "RunResult",
+    "ScenarioBatchTask",
     "SweepPoint",
     "Table",
+    "configure_baseline_cache",
+    "execute_batch",
+    "group_paired_tasks",
     "parallel_map",
     "render_series",
     "render_table",
+    "run_baseline",
     "run_pair_grid",
     "run_paired",
     "run_paired_config",

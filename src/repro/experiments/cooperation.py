@@ -21,7 +21,7 @@ from repro.broker.message import Notification
 from repro.device.cooperation import AdHocNetwork, DeviceGroup
 from repro.device.device import ClientDevice
 from repro.device.link import LastHopLink
-from repro.experiments.runner import DEFAULT_TOPIC, RunResult, run_scenario
+from repro.experiments.runner import DEFAULT_TOPIC, RunResult, run_baseline
 from repro.metrics.accounting import RunStats
 from repro.metrics.waste_loss import PairedMetrics, pair_metrics
 from repro.proxy.policies import PolicyConfig
@@ -144,8 +144,13 @@ def run_cooperative_paired(
     cooperation: CooperationConfig = CooperationConfig(),
     threshold: float = 0.0,
 ) -> "CooperativePairedResult":
-    """Cooperative run plus the standard single-device on-line baseline."""
-    baseline = run_scenario(trace, PolicyConfig.online(), threshold=threshold)
+    """Cooperative run plus the standard single-device on-line baseline.
+
+    The baseline goes through the per-process :func:`run_baseline` LRU,
+    so cooperation sweeps against a fixed reader trace share one on-line
+    run with each other and with plain ``run_paired`` cells.
+    """
+    baseline = run_baseline(trace, threshold=threshold)
     cooperative = run_cooperative_scenario(
         trace, policy, cooperation=cooperation, threshold=threshold
     )

@@ -14,20 +14,20 @@ adaptive algorithm — on the overflow workload at several outage levels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments.figures.common import (
     EVENT_FREQUENCY,
+    averaged_metrics,
     measure_grid,
+    paired_replicates,
     percent,
     scenario,
 )
 from repro.experiments.report import Table
-from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR
-from repro.workload.scenario import build_trace_cached
 
 OUTAGE_FRACTIONS: Tuple[float, ...] = (0.0, 0.3, 0.7, 0.9)
 
@@ -56,11 +56,8 @@ class AblationRateConfig:
 def measure_point(
     config: AblationRateConfig, outage_fraction: float, policy: PolicyConfig
 ) -> PairedMetrics:
-    wastes: List[float] = []
-    losses: List[float] = []
-    last: Optional[PairedMetrics] = None
-    for seed in config.seeds:
-        trace = build_trace_cached(
+    return averaged_metrics(
+        paired_replicates(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,
@@ -68,20 +65,9 @@ def measure_point(
                 max_per_read=config.max_per_read,
                 outage_fraction=outage_fraction,
             ),
-            seed=seed,
+            policy,
+            config.seeds,
         )
-        result = run_paired(trace, policy)
-        wastes.append(result.metrics.waste)
-        losses.append(result.metrics.loss)
-        last = result.metrics
-    assert last is not None
-    return PairedMetrics(
-        waste=sum(wastes) / len(wastes),
-        loss=sum(losses) / len(losses),
-        baseline_waste=last.baseline_waste,
-        forwarded=last.forwarded,
-        messages_read=last.messages_read,
-        baseline_read=last.baseline_read,
     )
 
 

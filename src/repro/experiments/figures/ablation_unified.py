@@ -20,16 +20,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.figures.common import (
     EVENT_FREQUENCY,
+    averaged_metrics,
     measure_grid,
+    paired_replicates,
     percent,
     scenario,
 )
 from repro.experiments.report import Table
-from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
 from repro.proxy.policies import PolicyConfig
 from repro.units import DAY, HOUR, YEAR
-from repro.workload.scenario import ScenarioConfig, build_trace_cached
+from repro.workload.scenario import ScenarioConfig
 
 
 @dataclass(frozen=True)
@@ -88,23 +89,8 @@ class AblationUnifiedConfig:
 def measure_cell(
     config: AblationUnifiedConfig, scenario_config: ScenarioConfig, policy: PolicyConfig
 ) -> PairedMetrics:
-    wastes: List[float] = []
-    losses: List[float] = []
-    last: Optional[PairedMetrics] = None
-    for seed in config.seeds:
-        trace = build_trace_cached(scenario_config, seed=seed)
-        result = run_paired(trace, policy)
-        wastes.append(result.metrics.waste)
-        losses.append(result.metrics.loss)
-        last = result.metrics
-    assert last is not None
-    return PairedMetrics(
-        waste=sum(wastes) / len(wastes),
-        loss=sum(losses) / len(losses),
-        baseline_waste=last.baseline_waste,
-        forwarded=last.forwarded,
-        messages_read=last.messages_read,
-        baseline_read=last.baseline_read,
+    return averaged_metrics(
+        paired_replicates(scenario_config, policy, config.seeds)
     )
 
 

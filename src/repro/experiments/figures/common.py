@@ -17,11 +17,14 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.broker.subscriptions import UNLIMITED
 from repro.experiments.parallel import parallel_map
+from repro.experiments.runner import run_paired
+from repro.metrics.waste_loss import PairedMetrics
+from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR
 from repro.workload.arrivals import ArrivalConfig, ExpirationDistribution
 from repro.workload.outages import OutageConfig
 from repro.workload.reads import ReadConfig
-from repro.workload.scenario import ScenarioConfig
+from repro.workload.scenario import ScenarioConfig, build_trace_cached
 
 #: The paper's fixed event frequency (notifications per day).
 EVENT_FREQUENCY: float = 32.0
@@ -68,6 +71,7 @@ def measure_grid(
     measure: Callable[..., Any],
     tasks: Sequence[Tuple[Any, ...]],
     jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
 ) -> List[Any]:
     """Shared figure entry point: evaluate ``measure(*task)`` per cell.
 
@@ -76,9 +80,52 @@ def measure_grid(
     always return in task order — the tables are identical for any
     ``jobs``). ``measure`` must be a module-level function and the task
     elements picklable when ``jobs`` exceeds 1; the frozen ``*Config``
-    dataclasses the figure modules pass satisfy that.
+    dataclasses the figure modules pass satisfy that. Cells ship to
+    workers in contiguous chunks (``chunksize``, automatic by default),
+    which amortizes IPC and keeps each worker's per-process trace and
+    baseline LRUs hot across neighbouring cells.
     """
-    return parallel_map(measure, tasks, jobs=jobs)
+    return parallel_map(measure, tasks, jobs=jobs, chunksize=chunksize)
+
+
+def paired_replicates(
+    config: ScenarioConfig,
+    policy: PolicyConfig,
+    seeds: Sequence[int],
+    threshold: float = 0.0,
+) -> List[PairedMetrics]:
+    """Paired metrics for each seed replica of one scenario/policy cell.
+
+    Routes through :func:`repro.experiments.runner.run_paired`, whose
+    per-process baseline LRU shares the on-line baseline run across
+    every policy variant evaluated against the same trace/threshold —
+    the figure-module counterpart of the grouped sweep executor.
+    """
+    metrics: List[PairedMetrics] = []
+    for seed in seeds:
+        trace = build_trace_cached(config, seed=seed)
+        metrics.append(run_paired(trace, policy, threshold=threshold).metrics)
+    return metrics
+
+
+def averaged_metrics(replicates: Sequence[PairedMetrics]) -> PairedMetrics:
+    """Collapse seed replicas into one record, averaging waste and loss.
+
+    Matches the figure modules' historical arithmetic exactly: waste and
+    loss are arithmetic means; the remaining diagnostic fields are taken
+    from the last replica.
+    """
+    if not replicates:
+        raise ValueError("averaged_metrics of empty sequence")
+    last = replicates[-1]
+    return PairedMetrics(
+        waste=sum(m.waste for m in replicates) / len(replicates),
+        loss=sum(m.loss for m in replicates) / len(replicates),
+        baseline_waste=last.baseline_waste,
+        forwarded=last.forwarded,
+        messages_read=last.messages_read,
+        baseline_read=last.baseline_read,
+    )
 
 
 def percent(fraction: float) -> float:

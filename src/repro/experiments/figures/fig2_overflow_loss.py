@@ -18,14 +18,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.experiments.figures.common import (
     EVENT_FREQUENCY,
     measure_grid,
+    mean,
+    paired_replicates,
     percent,
     scenario,
 )
 from repro.experiments.report import Table
-from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR
-from repro.workload.scenario import build_trace_cached
 
 #: Paper's x axis: cumulative outage fractions (plus the endpoints the
 #: text highlights: just below 1, and exactly 1).
@@ -50,21 +50,18 @@ def measure_point(
     config: Fig2Config, user_frequency: float, outage_fraction: float
 ) -> float:
     """Measured loss fraction of pure on-demand at one point."""
-    losses: List[float] = []
-    for seed in config.seeds:
-        trace = build_trace_cached(
-            scenario(
-                duration=config.duration,
-                event_frequency=config.event_frequency,
-                user_frequency=user_frequency,
-                max_per_read=config.max_per_read,
-                outage_fraction=outage_fraction,
-            ),
-            seed=seed,
-        )
-        result = run_paired(trace, PolicyConfig.on_demand())
-        losses.append(result.metrics.loss)
-    return sum(losses) / len(losses)
+    replicates = paired_replicates(
+        scenario(
+            duration=config.duration,
+            event_frequency=config.event_frequency,
+            user_frequency=user_frequency,
+            max_per_read=config.max_per_read,
+            outage_fraction=outage_fraction,
+        ),
+        PolicyConfig.on_demand(),
+        config.seeds,
+    )
+    return mean([m.loss for m in replicates])
 
 
 def run(

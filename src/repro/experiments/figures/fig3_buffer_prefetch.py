@@ -20,17 +20,16 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.figures.common import (
     EVENT_FREQUENCY,
+    averaged_metrics,
     measure_grid,
+    paired_replicates,
     percent,
     scenario,
 )
 from repro.experiments.report import Table
-from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
 from repro.proxy.policies import PolicyConfig
-from repro.sim.trace import Trace
 from repro.units import YEAR
-from repro.workload.scenario import build_trace_cached
 
 #: Paper's x axis (log scale, 1 … 65536).
 PREFETCH_LIMITS: Tuple[int, ...] = (
@@ -51,11 +50,17 @@ class Fig3Config:
     seeds: Tuple[int, ...] = (0,)
 
 
-def _traces(config: Fig3Config, outage_fraction: float) -> List[Trace]:
-    # Cached: every prefetch limit sweeps against the same scenario, so
-    # each (outage, seed) trace is built once per process.
-    return [
-        build_trace_cached(
+def measure_point(
+    config: Fig3Config, outage_fraction: float, prefetch_limit: int
+) -> PairedMetrics:
+    """Averaged paired metrics at one (outage, limit) point.
+
+    Trace builds and on-line baseline runs are shared across the whole
+    prefetch-limit sweep through the per-process caches (every limit
+    evaluates against the same ``(scenario, seed)`` traces).
+    """
+    return averaged_metrics(
+        paired_replicates(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,
@@ -63,32 +68,9 @@ def _traces(config: Fig3Config, outage_fraction: float) -> List[Trace]:
                 max_per_read=config.max_per_read,
                 outage_fraction=outage_fraction,
             ),
-            seed=seed,
+            PolicyConfig.buffer(prefetch_limit=prefetch_limit),
+            config.seeds,
         )
-        for seed in config.seeds
-    ]
-
-
-def measure_point(
-    config: Fig3Config, outage_fraction: float, prefetch_limit: int
-) -> PairedMetrics:
-    """Averaged paired metrics at one (outage, limit) point."""
-    wastes: List[float] = []
-    losses: List[float] = []
-    last: Optional[PairedMetrics] = None
-    for trace in _traces(config, outage_fraction):
-        result = run_paired(trace, PolicyConfig.buffer(prefetch_limit=prefetch_limit))
-        wastes.append(result.metrics.waste)
-        losses.append(result.metrics.loss)
-        last = result.metrics
-    assert last is not None
-    return PairedMetrics(
-        waste=sum(wastes) / len(wastes),
-        loss=sum(losses) / len(losses),
-        baseline_waste=last.baseline_waste,
-        forwarded=last.forwarded,
-        messages_read=last.messages_read,
-        baseline_read=last.baseline_read,
     )
 
 

@@ -23,14 +23,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.experiments.figures.common import (
     EVENT_FREQUENCY,
     measure_grid,
+    mean,
+    paired_replicates,
     percent,
     scenario,
 )
 from repro.experiments.report import Table
-from repro.experiments.runner import run_paired
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR
-from repro.workload.scenario import build_trace_cached
 
 EXPIRATION_MEANS: Tuple[float, ...] = (
     16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
@@ -53,22 +53,19 @@ def measure_point(
     config: Fig5Config, user_frequency: float, expiration_mean: float
 ) -> float:
     """Measured on-demand loss fraction at one point."""
-    losses: List[float] = []
-    for seed in config.seeds:
-        trace = build_trace_cached(
-            scenario(
-                duration=config.duration,
-                event_frequency=config.event_frequency,
-                user_frequency=user_frequency,
-                max_per_read=config.max_per_read,
-                outage_fraction=config.outage_fraction,
-                expiration_mean=expiration_mean,
-            ),
-            seed=seed,
-        )
-        result = run_paired(trace, PolicyConfig.on_demand())
-        losses.append(result.metrics.loss)
-    return sum(losses) / len(losses)
+    replicates = paired_replicates(
+        scenario(
+            duration=config.duration,
+            event_frequency=config.event_frequency,
+            user_frequency=user_frequency,
+            max_per_read=config.max_per_read,
+            outage_fraction=config.outage_fraction,
+            expiration_mean=expiration_mean,
+        ),
+        PolicyConfig.on_demand(),
+        config.seeds,
+    )
+    return mean([m.loss for m in replicates])
 
 
 def run(

@@ -28,16 +28,16 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.figures.common import (
     EVENT_FREQUENCY,
+    averaged_metrics,
     measure_grid,
+    paired_replicates,
     percent,
     scenario,
 )
 from repro.experiments.report import Table
-from repro.experiments.runner import run_paired
 from repro.metrics.waste_loss import PairedMetrics
 from repro.proxy.policies import PolicyConfig
 from repro.units import YEAR, format_duration
-from repro.workload.scenario import build_trace_cached
 
 #: Paper's x axis: 64 s … 1048576 s (~12 days), log scale.
 THRESHOLDS: Tuple[float, ...] = (
@@ -65,12 +65,14 @@ class Fig6Config:
 def measure_point(
     config: Fig6Config, expiration_mean: float, threshold: float
 ) -> PairedMetrics:
-    """Averaged paired metrics at one (expiration, threshold) point."""
-    wastes: List[float] = []
-    losses: List[float] = []
-    last: Optional[PairedMetrics] = None
-    for seed in config.seeds:
-        trace = build_trace_cached(
+    """Averaged paired metrics at one (expiration, threshold) point.
+
+    Every threshold on a curve shares the same ``(scenario, seed)``
+    traces, so the per-process baseline LRU runs the on-line baseline
+    once per trace for the whole threshold sweep.
+    """
+    return averaged_metrics(
+        paired_replicates(
             scenario(
                 duration=config.duration,
                 event_frequency=config.event_frequency,
@@ -79,21 +81,9 @@ def measure_point(
                 outage_fraction=config.outage_fraction,
                 expiration_mean=expiration_mean,
             ),
-            seed=seed,
+            PolicyConfig.unified(expiration_threshold=threshold),
+            config.seeds,
         )
-        policy = PolicyConfig.unified(expiration_threshold=threshold)
-        result = run_paired(trace, policy)
-        wastes.append(result.metrics.waste)
-        losses.append(result.metrics.loss)
-        last = result.metrics
-    assert last is not None
-    return PairedMetrics(
-        waste=sum(wastes) / len(wastes),
-        loss=sum(losses) / len(losses),
-        baseline_waste=last.baseline_waste,
-        forwarded=last.forwarded,
-        messages_read=last.messages_read,
-        baseline_read=last.baseline_read,
     )
 
 

@@ -19,6 +19,16 @@ Design constraints, and how they are met:
 * **Deterministic merge.** Futures are submitted in grid order and
   harvested in that same order; stragglers simply make the harvest
   block, never reorder it.
+* **Shared per-scenario work.** The paper runs "two scenarios for each
+  randomized set of discrete events", but a policy sweep evaluates many
+  policies against one scenario — re-running the identical on-line
+  baseline for every cell. :func:`run_pair_grid` therefore groups the
+  grid by ``(ScenarioConfig, seed)`` into :class:`ScenarioBatchTask`
+  units: a worker builds the trace once, runs the baseline once, and
+  evaluates every policy variant of the group against that cached
+  baseline — roughly halving simulated runs for policy sweeps. Outcomes
+  are scattered back into grid order, so the result (and the streaming
+  ``on_result`` order) is bit-for-bit identical to per-cell execution.
 * **No rebuilt traces.** Workers build traces through
   :func:`repro.workload.scenario.build_trace_cached`, so the baseline
   and policy runs of a pair — and every policy variant sweeping against
@@ -27,6 +37,10 @@ Design constraints, and how they are met:
   the CLI's ``--trace-cache``), a pool initializer forwards it so all
   workers — and later invocations — share built traces across process
   boundaries too.
+* **Chunked submission.** Many small tasks are shipped per future
+  (``chunksize``), amortizing pickling/IPC overhead and keeping
+  contiguous grid cells on the same worker — which is exactly what the
+  per-process trace and baseline LRUs want to see.
 * **Same-process fallback.** ``jobs=1`` (the default everywhere) runs
   the exact same worker function inline, with no executor, no pickling,
   and streaming results.
@@ -35,14 +49,20 @@ Design constraints, and how they are met:
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import run_paired
+from repro.experiments.runner import run_baseline, run_paired, run_scenario
+from repro.metrics.waste_loss import pair_metrics
 from repro.proxy.policies import PolicyConfig
 from repro.sim import trace_cache
 from repro.workload.scenario import ScenarioConfig, build_trace_cached
+
+#: Upper bound on automatic chunk sizes: keeps the in-order harvest
+#: streaming results at a reasonable cadence even on huge grids.
+MAX_AUTO_CHUNK: int = 32
 
 
 def resolve_jobs(jobs: Optional[int], tasks: int) -> int:
@@ -56,6 +76,19 @@ def resolve_jobs(jobs: Optional[int], tasks: int) -> int:
     return max(1, min(jobs, tasks))
 
 
+def resolve_chunksize(chunksize: Optional[int], tasks: int, workers: int) -> int:
+    """Tasks shipped per future. ``None`` picks an automatic size.
+
+    The automatic size aims at ~4 chunks per worker (enough slack for
+    stragglers to rebalance) and never exceeds :data:`MAX_AUTO_CHUNK`.
+    """
+    if chunksize is not None:
+        return max(1, chunksize)
+    if workers <= 1:
+        return 1
+    return max(1, min(MAX_AUTO_CHUNK, -(-tasks // (workers * 4))))
+
+
 def _worker_init(trace_cache_dir: Optional[str]) -> None:
     """Process-pool initializer: inherit the parent's trace-cache setup.
 
@@ -67,11 +100,17 @@ def _worker_init(trace_cache_dir: Optional[str]) -> None:
     trace_cache.configure(trace_cache_dir)
 
 
+def _run_chunk(fn: Callable[..., Any], chunk: Sequence[Tuple[Any, ...]]) -> List[Any]:
+    """Worker: evaluate a contiguous slice of the task grid."""
+    return [fn(*task) for task in chunk]
+
+
 def parallel_map(
     fn: Callable[..., Any],
     tasks: Sequence[Tuple[Any, ...]],
     jobs: Optional[int] = 1,
     on_result: Optional[Callable[[int, Any], None]] = None,
+    chunksize: Optional[int] = None,
 ) -> List[Any]:
     """Evaluate ``fn(*task)`` for every task, optionally across processes.
 
@@ -83,7 +122,10 @@ def parallel_map(
     advances.
 
     When ``jobs`` exceeds 1, ``fn`` must be a module-level function and
-    every task element picklable.
+    every task element picklable. ``chunksize`` tasks ship per future
+    (``None`` = automatic, see :func:`resolve_chunksize`): fewer, fatter
+    futures amortize pickling/IPC, and contiguous cells landing on one
+    worker keeps its per-process trace/baseline caches warm.
     """
     tasks = [task if isinstance(task, tuple) else (task,) for task in tasks]
     effective = resolve_jobs(jobs, len(tasks))
@@ -95,18 +137,22 @@ def parallel_map(
             if on_result is not None:
                 on_result(index, value)
         return results
+    chunk = resolve_chunksize(chunksize, len(tasks), effective)
+    chunks = [tasks[start : start + chunk] for start in range(0, len(tasks), chunk)]
     cache_dir = trace_cache.active_dir()
     with ProcessPoolExecutor(
         max_workers=effective,
         initializer=_worker_init,
         initargs=(None if cache_dir is None else str(cache_dir),),
     ) as pool:
-        futures = [pool.submit(fn, *task) for task in tasks]
-        for index, future in enumerate(futures):
-            value = future.result()
-            results.append(value)
-            if on_result is not None:
-                on_result(index, value)
+        futures = [pool.submit(_run_chunk, fn, part) for part in chunks]
+        index = 0
+        for future in futures:
+            for value in future.result():
+                results.append(value)
+                if on_result is not None:
+                    on_result(index, value)
+                index += 1
     return results
 
 
@@ -136,6 +182,52 @@ class PairedOutcome:
     messages_read: int
 
 
+@dataclass(frozen=True)
+class BatchCell:
+    """One sweep cell inside a :class:`ScenarioBatchTask`.
+
+    ``index`` is the cell's position in the original task grid, used to
+    scatter batched outcomes back into grid order.
+    """
+
+    index: int
+    x: float
+    seed: int
+    policy: PolicyConfig
+
+
+@dataclass(frozen=True)
+class ScenarioBatchTask:
+    """Every cell of a sweep grid that shares one ``(config, seed)``.
+
+    A worker builds the trace once, runs the on-line baseline once, and
+    evaluates each cell's policy against that shared baseline.
+    """
+
+    config: ScenarioConfig
+    seed: int
+    cells: Tuple[BatchCell, ...]
+
+
+def group_paired_tasks(tasks: Sequence[PairedTask]) -> List[ScenarioBatchTask]:
+    """Group grid cells by ``(ScenarioConfig, seed)``, preserving order.
+
+    Batches appear in order of each scenario's first occurrence in the
+    grid; cells within a batch keep grid order. A policy sweep (fixed
+    scenario, varying policy) collapses to one batch per seed; a
+    scenario sweep degenerates to single-cell batches, which execute
+    exactly like the per-cell path.
+    """
+    groups: "OrderedDict[Tuple[ScenarioConfig, int], List[BatchCell]]" = OrderedDict()
+    for index, task in enumerate(tasks):
+        cell = BatchCell(index=index, x=task.x, seed=task.seed, policy=task.policy)
+        groups.setdefault((task.config, task.seed), []).append(cell)
+    return [
+        ScenarioBatchTask(config=config, seed=seed, cells=tuple(cells))
+        for (config, seed), cells in groups.items()
+    ]
+
+
 def execute_pair(task: PairedTask) -> PairedOutcome:
     """Worker: run one paired (baseline, policy) cell of a sweep grid."""
     trace = build_trace_cached(task.config, seed=task.seed)
@@ -151,12 +243,79 @@ def execute_pair(task: PairedTask) -> PairedOutcome:
     )
 
 
+def execute_batch(batch: ScenarioBatchTask) -> Tuple[PairedOutcome, ...]:
+    """Worker: run every cell of one scenario batch against one baseline.
+
+    The trace is built (or fetched) once, the on-line baseline simulated
+    once, and each policy variant compared against it — identical
+    arithmetic to ``run_paired`` per cell, minus the redundant baseline
+    re-executions.
+    """
+    trace = build_trace_cached(batch.config, seed=batch.seed)
+    threshold = batch.config.threshold
+    baseline = run_baseline(trace, threshold=threshold)
+    outcomes = []
+    for cell in batch.cells:
+        candidate = run_scenario(trace, cell.policy, threshold=threshold)
+        metrics = pair_metrics(baseline.stats, candidate.stats)
+        outcomes.append(
+            PairedOutcome(
+                x=cell.x,
+                seed=cell.seed,
+                waste=metrics.waste,
+                loss=metrics.loss,
+                forwarded=metrics.forwarded,
+                messages_read=metrics.messages_read,
+            )
+        )
+    return tuple(outcomes)
+
+
 def run_pair_grid(
     tasks: Sequence[PairedTask],
     jobs: Optional[int] = 1,
     on_result: Optional[Callable[[int, PairedOutcome], None]] = None,
+    group: bool = True,
+    chunksize: Optional[int] = None,
 ) -> List[PairedOutcome]:
-    """Run a grid of paired cells; outcomes in task order."""
-    return parallel_map(
-        execute_pair, [(task,) for task in tasks], jobs=jobs, on_result=on_result
+    """Run a grid of paired cells; outcomes in task order.
+
+    With ``group`` (the default) the grid executes as scenario batches
+    (:func:`group_paired_tasks`), sharing one trace build and one
+    baseline run per ``(config, seed)``. Results — including the
+    streaming ``on_result(index, outcome)`` order — are bit-for-bit
+    identical to the per-cell path (``group=False``); grouping only
+    removes redundant, deterministic re-computation.
+    """
+    tasks = list(tasks)
+    if not group:
+        return parallel_map(
+            execute_pair,
+            [(task,) for task in tasks],
+            jobs=jobs,
+            on_result=on_result,
+            chunksize=chunksize,
+        )
+    batches = group_paired_tasks(tasks)
+    results: List[Optional[PairedOutcome]] = [None] * len(tasks)
+    emitted = 0
+
+    def _scatter(batch_index: int, outcomes: Tuple[PairedOutcome, ...]) -> None:
+        # Batches harvest in submission order; once every batch covering
+        # the next grid index has landed, stream the contiguous prefix.
+        nonlocal emitted
+        for cell, outcome in zip(batches[batch_index].cells, outcomes):
+            results[cell.index] = outcome
+        while emitted < len(results) and results[emitted] is not None:
+            if on_result is not None:
+                on_result(emitted, results[emitted])
+            emitted += 1
+
+    parallel_map(
+        execute_batch,
+        [(batch,) for batch in batches],
+        jobs=jobs,
+        on_result=_scatter,
+        chunksize=chunksize,
     )
+    return results  # type: ignore[return-value]

@@ -5,13 +5,24 @@ a fully wired simulator — proxy, last-hop link, device — under a given
 forwarding policy. ``run_paired`` executes the paper's methodology: the
 same trace under the on-line baseline and under the policy, yielding the
 waste/loss pair.
+
+The on-line baseline run depends only on the trace, the threshold, and
+the run keyword arguments — never on the policy under evaluation — so
+sweeping a policy knob against a fixed scenario re-executes the same
+baseline for every cell. :func:`run_baseline` memoizes it in a small
+per-process LRU; ``run_paired`` (and therefore ``run_paired_config`` and
+the serial sweep path) consults that cache, and the grouped sweep
+executor in :mod:`repro.experiments.parallel` shares the same entry
+across a whole batch. Baseline runs are deterministic, so cached reuse
+is bit-for-bit identical to re-execution.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.broker.message import Notification
 from repro.device.battery import Battery
@@ -124,8 +135,15 @@ def run_scenario(
         collector = ProxyGarbageCollector(sim, proxy, GcConfig(interval=gc_interval))
 
     # Each run materializes fresh Notification objects: the proxy mutates
-    # ranks in place, and paired runs must not observe each other.
+    # ranks in place, and paired runs must not observe each other. The
+    # four trace record sequences are pre-sorted, so they replay as lazy
+    # static streams: the engine heap holds one cursor per stream plus
+    # the dynamic timers, instead of every trace record up front. Stream
+    # registration order matters — it reserves the same FIFO sequence
+    # numbers that per-record schedule_at calls in this order would get.
     originals: Dict[EventId, Notification] = {}
+    arrival_stream: List[Tuple[float, Callable, tuple]] = []
+    on_notification = proxy.on_notification
     for arrival in trace.arrivals:
         notification = Notification(
             event_id=arrival.event_id,
@@ -135,8 +153,10 @@ def run_scenario(
             expires_at=arrival.expires_at,
         )
         originals[arrival.event_id] = notification
-        sim.schedule_at(arrival.time, proxy.on_notification, notification)
+        arrival_stream.append((arrival.time, on_notification, (notification,)))
+    sim.add_stream(arrival_stream)
 
+    change_stream: List[Tuple[float, Callable, tuple]] = []
     for change in trace.rank_changes:
         original = originals[change.event_id]
         update = Notification(
@@ -146,19 +166,26 @@ def run_scenario(
             published_at=original.published_at,
             expires_at=original.expires_at,
         )
-        sim.schedule_at(change.time, proxy.on_notification, update)
+        change_stream.append((change.time, on_notification, (update,)))
+    sim.add_stream(change_stream)
 
-    for read in trace.reads:
-        sim.schedule_at(read.time, device.perform_read, topic, read.count)
+    sim.add_stream(
+        [(read.time, device.perform_read, (topic, read.count)) for read in trace.reads]
+    )
+    sim.add_stream(
+        [(time, link.set_status, (status,)) for time, status in trace.network_transitions()]
+    )
 
-    for time, status in trace.network_transitions():
-        sim.schedule_at(time, link.set_status, status)
-
-    sim.run(until=trace.duration)
-    if collector is not None:
-        collector.stop()
-    if battery is not None:
-        stats.battery_spent = battery.spent
+    try:
+        sim.run(until=trace.duration)
+    finally:
+        # Detach the GC timer and settle battery accounting even when a
+        # callback raises mid-run, so a caught error cannot leave a live
+        # periodic timer (or unaccounted drain) behind.
+        if collector is not None:
+            collector.stop()
+        if battery is not None:
+            stats.battery_spent = battery.spent
 
     state = proxy.topic_state(topic)
     return RunResult(
@@ -168,6 +195,66 @@ def run_scenario(
         final_proxy_queued=state.queued_event_count(),
         final_device_queued=device.queue_size(topic),
     )
+
+
+#: Per-process LRU of on-line baseline runs, keyed by trace identity +
+#: threshold + run kwargs. Policy sweeps against a fixed scenario ask
+#: for the identical baseline once per cell; the cache collapses those
+#: into one simulated run per (trace, threshold, kwargs).
+_BASELINE_CACHE: "OrderedDict[tuple, Tuple[Trace, RunResult]]" = OrderedDict()
+
+#: Baseline results kept per process. Figure grids revisit at most a few
+#: dozen distinct traces within any submission window.
+BASELINE_CACHE_SIZE: int = 16
+
+_baseline_cache_enabled: bool = True
+
+
+def configure_baseline_cache(enabled: bool) -> None:
+    """Enable or disable the per-process baseline LRU (tests/benchmarks).
+
+    Disabling also clears it. Results are identical either way — the
+    cache only skips re-executing deterministic baseline runs.
+    """
+    global _baseline_cache_enabled
+    _baseline_cache_enabled = enabled
+    if not enabled:
+        _BASELINE_CACHE.clear()
+
+
+def clear_baseline_cache() -> None:
+    """Drop every cached baseline run."""
+    _BASELINE_CACHE.clear()
+
+
+def run_baseline(trace: Trace, threshold: float = 0.0, **kwargs) -> RunResult:
+    """The on-line baseline run for ``trace``, memoized per process.
+
+    Keyed by trace identity (the per-process trace LRU hands out one
+    object per ``(config, seed)``, so identity is exactly trace
+    equality there), the threshold, and the run kwargs. Unhashable
+    kwargs (e.g. a mutable :class:`Battery`) bypass the cache. The
+    returned :class:`RunResult` may be shared between callers and must
+    be treated as read-only — the paired metrics computation only ever
+    reads it.
+    """
+    if not _baseline_cache_enabled:
+        return run_scenario(trace, PolicyConfig.online(), threshold=threshold, **kwargs)
+    key = (id(trace), float(threshold), tuple(sorted(kwargs.items())))
+    try:
+        entry = _BASELINE_CACHE.get(key)
+    except TypeError:  # unhashable kwarg value — run uncached
+        return run_scenario(trace, PolicyConfig.online(), threshold=threshold, **kwargs)
+    if entry is not None and entry[0] is trace:
+        _BASELINE_CACHE.move_to_end(key)
+        return entry[1]
+    result = run_scenario(trace, PolicyConfig.online(), threshold=threshold, **kwargs)
+    # The entry keeps the trace alive, so its id cannot be reused by a
+    # different (garbage-collected-and-reallocated) trace while cached.
+    _BASELINE_CACHE[key] = (trace, result)
+    while len(_BASELINE_CACHE) > BASELINE_CACHE_SIZE:
+        _BASELINE_CACHE.popitem(last=False)
+    return result
 
 
 def run_paired(
@@ -180,9 +267,11 @@ def run_paired(
 
     The on-line scenario "serves as the baseline for computing loss and
     as the cap for the maximum level of waste"; the policy scenario is
-    whatever is being evaluated.
+    whatever is being evaluated. The baseline comes from the per-process
+    :func:`run_baseline` LRU, so evaluating several policies against one
+    ``(trace, threshold)`` simulates the baseline once.
     """
-    baseline = run_scenario(trace, PolicyConfig.online(), threshold=threshold, **kwargs)
+    baseline = run_baseline(trace, threshold=threshold, **kwargs)
     candidate = run_scenario(trace, policy, threshold=threshold, **kwargs)
     return PairedResult(
         baseline=baseline,

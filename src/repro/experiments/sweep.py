@@ -11,6 +11,13 @@ The full ``(x, seed)`` grid executes through
 in-process exactly as before; with ``jobs>1`` the independent paired
 runs fan across worker processes and merge deterministically, so the
 resulting :class:`SweepPoint` list is bit-for-bit identical either way.
+
+Execution is scenario-grouped by default (``group=True``): cells that
+share one ``(ScenarioConfig, seed)`` — every cell of a policy sweep —
+build their trace once and share a single on-line baseline run, roughly
+halving the number of simulated runs. Grouping only removes redundant
+deterministic computation, so the points are bit-for-bit identical to
+the per-cell path for any ``(jobs, group)`` combination.
 """
 
 from __future__ import annotations
@@ -72,12 +79,15 @@ def sweep_1d(
     seeds: Iterable[int] = (0,),
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = 1,
+    group: bool = True,
 ) -> List[SweepPoint]:
     """Run one sweep curve, averaging metrics over ``seeds``.
 
     ``jobs`` fans the ``(x, seed)`` grid across that many worker
     processes (``None``/``0`` = one per CPU); the default of 1 runs
-    in-process. Results are identical for any ``jobs`` value.
+    in-process. ``group`` shares trace builds and baseline runs across
+    cells with the same scenario (see :func:`run_pair_grid`). Results
+    are identical for any ``jobs``/``group`` combination.
     """
     # Materialize up front: generator arguments must survive being
     # iterated once per x value (a generator previously ran its seeds
@@ -108,7 +118,7 @@ def sweep_1d(
                 f"loss {point.loss_percent:.1f} %"
             )
 
-    run_pair_grid(tasks, jobs=jobs, on_result=_drain)
+    run_pair_grid(tasks, jobs=jobs, on_result=_drain, group=group)
     if not seeds:
         # Preserve the serial path's behaviour: averaging zero seeds is
         # a summarize() error, raised per x value.

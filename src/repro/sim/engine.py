@@ -5,19 +5,37 @@ scheduled for the same timestamp fire in scheduling order (FIFO), which
 makes paired policy runs reproducible bit-for-bit. This mirrors the
 ``schedule()`` primitive in the paper's Figure 7 pseudo-code, which is
 used both for expiring notifications and for the delay stage.
+
+Two scheduling surfaces share one timeline:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` — dynamic
+  timers (expirations, the delay stage, retractions), each a heap entry.
+* :meth:`Simulator.add_stream` — a pre-sorted *read-only* event stream
+  (trace replays: arrivals, rank changes, reads, link transitions).
+  Streams are merged lazily against the dynamic heap à la
+  :func:`heapq.merge`: the heap holds at most one cursor entry per
+  stream, so replaying a 12k-record trace no longer pays ~12k heap
+  pushes before the clock even starts. Each stream reserves a contiguous
+  block of sequence numbers when added, so same-timestamp ordering is
+  exactly the FIFO order that up-front ``schedule_at`` calls in the same
+  program order would have produced — paired runs stay bit-for-bit
+  identical.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro._compat import DATACLASS_SLOTS
 from repro.errors import SimulationError
 
 Callback = Callable[..., None]
+
+#: One static-stream record: ``(time, callback, args)``.
+StreamItem = Tuple[float, Callback, tuple]
 
 
 @dataclass(order=True, **DATACLASS_SLOTS)
@@ -29,6 +47,33 @@ class _ScheduledEvent:
     callback: Callback = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: Owning static stream for lazily merged entries; None for dynamic
+    #: timers. Stream cursor entries are reused across the stream's
+    #: items, so they are never exposed through an :class:`EventHandle`.
+    stream: Optional["_StaticStream"] = field(compare=False, default=None)
+
+
+class _StaticStream:
+    """Cursor over one pre-sorted read-only event sequence.
+
+    ``base`` is the first of the contiguous sequence numbers reserved
+    for the stream; item ``i`` fires with seq ``base + i``. A single
+    mutable :class:`_ScheduledEvent` (``entry``) is reused as the heap
+    cursor for every item, which keeps lazy merging allocation-free.
+    """
+
+    __slots__ = ("items", "pos", "base", "entry")
+
+    def __init__(self, items: Sequence[StreamItem], base: int, entry: _ScheduledEvent):
+        self.items = items
+        self.pos = 1  # items[0] is already loaded into ``entry``
+        self.base = base
+        self.entry = entry
+
+    @property
+    def remaining(self) -> int:
+        """Items not yet loaded into the heap cursor."""
+        return len(self.items) - self.pos
 
 
 class EventHandle:
@@ -76,7 +121,8 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
         self._heap: List[_ScheduledEvent] = []
-        self._seq = itertools.count()
+        self._seq_next = 0
+        self._stream_backlog = 0
         self._events_processed = 0
         self._running = False
 
@@ -92,28 +138,98 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the queue, including cancelled ones."""
-        return len(self._heap)
+        """Events still to fire: heap entries (including cancelled ones)
+        plus static-stream items not yet merged into the heap."""
+        return len(self._heap) + self._stream_backlog
 
     def schedule(self, delay: float, callback: Callback, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
 
-        ``delay`` must be non-negative; a zero delay fires the callback on
-        the current timestamp after all events already scheduled for it.
+        ``delay`` must be non-negative and finite; a zero delay fires the
+        callback on the current timestamp after all events already
+        scheduled for it.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay:.3f} s in the past")
         return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(self, time: float, callback: Callback, *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        """Schedule ``callback(*args)`` at an absolute simulation time.
+
+        ``time`` must be finite: NaN would silently corrupt the heap
+        ordering (every comparison against it is False), and +inf would
+        never fire yet keep ``run()`` from ever draining the queue.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot schedule at non-finite time {time!r}")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time:.3f} before current t={self._now:.3f}"
             )
-        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback, args=args)
+        seq = self._seq_next
+        self._seq_next += 1
+        event = _ScheduledEvent(time=time, seq=seq, callback=callback, args=args)
         heapq.heappush(self._heap, event)
         return EventHandle(event)
+
+    def add_stream(self, items: Iterable[StreamItem]) -> int:
+        """Merge a pre-sorted read-only event stream into the timeline.
+
+        ``items`` is a sequence of ``(time, callback, args)`` records in
+        non-decreasing time order; args must be a tuple. The stream is
+        replayed lazily: only its current head occupies the heap, so the
+        heap stays as small as the dynamically scheduled timer set.
+
+        Ordering is exactly equivalent to calling ``schedule_at`` for
+        every item, in order, at the point ``add_stream`` is called: the
+        stream reserves a contiguous block of sequence numbers, so ties
+        against dynamic timers and other streams resolve identically.
+        Items are validated lazily as the cursor advances (each time
+        must be finite and non-decreasing); the first item is validated
+        eagerly and must not lie in the past. Returns the item count.
+        """
+        items = items if isinstance(items, (list, tuple)) else list(items)
+        if not items:
+            return 0
+        time, callback, args = items[0]
+        if not math.isfinite(time):
+            raise SimulationError(f"stream starts at non-finite time {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"stream starts at t={time:.3f} before current t={self._now:.3f}"
+            )
+        base = self._seq_next
+        self._seq_next += len(items)
+        entry = _ScheduledEvent(time=time, seq=base, callback=callback, args=args)
+        entry.stream = _StaticStream(items, base, entry)
+        heapq.heappush(self._heap, entry)
+        self._stream_backlog += len(items) - 1
+        return len(items)
+
+    def _advance_stream(self, stream: _StaticStream) -> None:
+        """Load the stream's next item into its heap cursor, if any."""
+        pos = stream.pos
+        items = stream.items
+        if pos >= len(items):
+            return
+        time, callback, args = items[pos]
+        entry = stream.entry
+        if not math.isfinite(time):
+            raise SimulationError(
+                f"stream item {pos} has non-finite time {time!r}"
+            )
+        if time < entry.time:
+            raise SimulationError(
+                f"stream item {pos} at t={time:.3f} precedes item {pos - 1} "
+                f"at t={entry.time:.3f}; streams must be pre-sorted"
+            )
+        entry.time = time
+        entry.seq = stream.base + pos
+        entry.callback = callback
+        entry.args = args
+        stream.pos = pos + 1
+        self._stream_backlog -= 1
+        heapq.heappush(self._heap, entry)
 
     def step(self) -> bool:
         """Fire the next pending event. Returns False if none remain."""
@@ -121,9 +237,14 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self._now = event.time
+            # Capture before advancing: the stream cursor entry is
+            # reused, so _advance_stream overwrites these fields.
+            time, callback, args = event.time, event.callback, event.args
+            self._now = time
             self._events_processed += 1
-            event.callback(*event.args)
+            callback(*args)
+            if event.stream is not None:
+                self._advance_stream(event.stream)
             return True
         return False
 
@@ -142,17 +263,25 @@ class Simulator:
                 raise SimulationError(
                     f"cannot run until t={until:.3f}, clock already at t={self._now:.3f}"
                 )
-            while self._heap:
-                event = self._heap[0]
+            heap = self._heap
+            while heap:
+                event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heapq.heappop(heap)
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
+                heapq.heappop(heap)
+                # Capture before advancing: the stream cursor entry is
+                # reused, so _advance_stream overwrites these fields.
+                time, callback, args = event.time, event.callback, event.args
+                self._now = time
                 self._events_processed += 1
-                event.callback(*event.args)
+                callback(*args)
+                # Advance after firing so a malformed item N+1 (unsorted
+                # or non-finite) surfaces only once the valid prefix ran.
+                if event.stream is not None:
+                    self._advance_stream(event.stream)
             if until is not None:
                 self._now = max(self._now, until)
         finally:
@@ -163,16 +292,19 @@ class Simulator:
 
         Long runs that cancel many timers (e.g. expiration timeouts for
         messages that were read first) can call this to bound memory.
-        Returns the number of entries removed.
+        Stream cursor entries are never cancelled, so lazily merged
+        streams are unaffected. Returns the number of entries removed.
         """
         before = len(self._heap)
         live = [e for e in self._heap if not e.cancelled]
         heapq.heapify(live)
-        self._heap = live
+        # In place: run() iterates an alias of the heap list, and a GC
+        # sweep may compact mid-run.
+        self._heap[:] = live
         return before - len(live)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Simulator(now={self._now:.3f}, pending={len(self._heap)}, "
+            f"Simulator(now={self._now:.3f}, pending={self.pending}, "
             f"processed={self._events_processed})"
         )

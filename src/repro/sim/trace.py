@@ -119,6 +119,14 @@ class Trace:
                 raise ConfigurationError(
                     f"outage [{outage.start}, {outage.end}] has non-positive duration"
                 )
+            if outage.start < 0.0 or outage.end > self.duration:
+                # Out-of-range outages would make downtime_fraction()
+                # negative or exceed 1, and replay transitions outside
+                # the run window.
+                raise ConfigurationError(
+                    f"outage [{outage.start}, {outage.end}] lies outside "
+                    f"[0, {self.duration}]"
+                )
             if outage.start < previous_end:
                 raise ConfigurationError("outages overlap; merge them during generation")
             previous_end = outage.end
@@ -140,18 +148,31 @@ class Trace:
     # Derived views
     # ------------------------------------------------------------------
     def downtime_fraction(self) -> float:
-        """Fraction of the run during which the link is down."""
+        """Fraction of the run during which the link is down, in [0, 1].
+
+        Outage edges are clamped to ``[0, duration]`` so a hand-built
+        (unvalidated) trace with out-of-range outages cannot yield a
+        negative or >1 fraction; :meth:`validate` rejects such traces.
+        """
         if self.duration == 0:
             return 0.0
-        down = sum(min(o.end, self.duration) - o.start for o in self.outages)
+        down = sum(
+            max(0.0, min(o.end, self.duration) - max(o.start, 0.0))
+            for o in self.outages
+        )
         return down / self.duration
 
     def network_transitions(self) -> Iterator[Tuple[float, NetworkStatus]]:
         """Yield (time, status) link transitions implied by the outages.
 
-        The link starts UP at t=0 unless an outage starts there.
+        The link starts UP at t=0 unless an outage starts there. Edges
+        are clamped to the run window: an outage starting at or beyond
+        ``duration`` contributes no transition (nothing of it can be
+        observed within the run).
         """
         for outage in self.outages:
+            if outage.start >= self.duration:
+                continue
             yield outage.start, NetworkStatus.DOWN
             if outage.end < self.duration:
                 yield outage.end, NetworkStatus.UP

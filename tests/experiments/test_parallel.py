@@ -9,9 +9,13 @@ import pytest
 
 from repro.experiments.figures import fig1_overflow_waste
 from repro.experiments.parallel import (
+    MAX_AUTO_CHUNK,
     PairedTask,
+    execute_batch,
     execute_pair,
+    group_paired_tasks,
     parallel_map,
+    resolve_chunksize,
     resolve_jobs,
     run_pair_grid,
 )
@@ -44,6 +48,24 @@ class TestResolveJobs:
         assert resolve_jobs(8, tasks=0) == 1
 
 
+class TestResolveChunksize:
+    def test_explicit_value_clamped_to_one(self):
+        assert resolve_chunksize(5, tasks=100, workers=4) == 5
+        assert resolve_chunksize(0, tasks=100, workers=4) == 1
+
+    def test_single_worker_streams_per_task(self):
+        assert resolve_chunksize(None, tasks=1000, workers=1) == 1
+
+    def test_auto_targets_four_chunks_per_worker(self):
+        assert resolve_chunksize(None, tasks=64, workers=4) == 4
+
+    def test_auto_capped(self):
+        assert resolve_chunksize(None, tasks=10**6, workers=2) == MAX_AUTO_CHUNK
+
+    def test_auto_never_zero_for_tiny_grids(self):
+        assert resolve_chunksize(None, tasks=2, workers=8) == 1
+
+
 class TestParallelMap:
     def test_serial_preserves_order(self):
         assert parallel_map(_square, [(3,), (1,), (2,)], jobs=1) == [9, 1, 4]
@@ -72,6 +94,20 @@ class TestParallelMap:
     def test_empty_grid(self):
         assert parallel_map(_square, [], jobs=4) == []
 
+    @pytest.mark.parametrize("chunksize", [1, 3, 7, 50])
+    def test_chunked_results_in_task_order(self, chunksize):
+        tasks = [(i,) for i in range(20)]
+        seen = []
+        results = parallel_map(
+            _square,
+            tasks,
+            jobs=2,
+            chunksize=chunksize,
+            on_result=lambda index, value: seen.append((index, value)),
+        )
+        assert results == [i * i for i in range(20)]
+        assert seen == [(i, i * i) for i in range(20)]
+
 
 def _grid_tasks():
     """A small fig1-style (x, seed) grid: overflow, on-line policy."""
@@ -87,6 +123,58 @@ def _grid_tasks():
                 )
             )
     return tasks
+
+
+def _policy_sweep_tasks():
+    """A policy sweep: many policies against few (scenario, seed) pairs."""
+    policies = [
+        PolicyConfig.online(),
+        PolicyConfig.on_demand(),
+        PolicyConfig.buffer(prefetch_limit=4),
+        PolicyConfig.buffer(prefetch_limit=16),
+        PolicyConfig.unified(),
+    ]
+    tasks = []
+    for x, policy in enumerate(policies):
+        for seed in (0, 1):
+            tasks.append(
+                PairedTask(
+                    x=float(x),
+                    seed=seed,
+                    config=make_config(days=3.0, outage_fraction=0.5),
+                    policy=policy,
+                )
+            )
+    return tasks
+
+
+class TestGrouping:
+    def test_policy_sweep_collapses_to_one_batch_per_seed(self):
+        batches = group_paired_tasks(_policy_sweep_tasks())
+        assert len(batches) == 2  # one per seed
+        assert sorted(batch.seed for batch in batches) == [0, 1]
+        assert all(len(batch.cells) == 5 for batch in batches)
+
+    def test_scenario_sweep_degenerates_to_singleton_batches(self):
+        tasks = _grid_tasks()
+        batches = group_paired_tasks(tasks)
+        assert len(batches) == len(tasks)
+        assert all(len(batch.cells) == 1 for batch in batches)
+
+    def test_cell_indices_cover_the_grid(self):
+        tasks = _policy_sweep_tasks()
+        batches = group_paired_tasks(tasks)
+        indices = sorted(
+            cell.index for batch in batches for cell in batch.cells
+        )
+        assert indices == list(range(len(tasks)))
+
+    def test_execute_batch_matches_execute_pair(self):
+        tasks = _policy_sweep_tasks()
+        (batch, _other) = group_paired_tasks(tasks)
+        batched = execute_batch(batch)
+        per_cell = tuple(execute_pair(tasks[cell.index]) for cell in batch.cells)
+        assert batched == per_cell
 
 
 class TestRunPairGrid:
@@ -105,6 +193,24 @@ class TestRunPairGrid:
         inline = execute_pair(task)
         (shipped,) = run_pair_grid([task], jobs=1)
         assert shipped == inline
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_grouped_equals_per_cell(self, jobs):
+        tasks = _policy_sweep_tasks()
+        grouped = run_pair_grid(tasks, jobs=jobs, group=True)
+        per_cell = run_pair_grid(tasks, jobs=jobs, group=False)
+        assert grouped == per_cell
+
+    def test_grouped_on_result_streams_in_grid_order(self):
+        tasks = _policy_sweep_tasks()
+        seen = []
+        outcomes = run_pair_grid(
+            tasks,
+            jobs=1,
+            group=True,
+            on_result=lambda index, outcome: seen.append((index, outcome)),
+        )
+        assert seen == list(enumerate(outcomes))
 
 
 class TestSweepEquivalence:

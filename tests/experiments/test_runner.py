@@ -2,9 +2,19 @@
 
 import pytest
 
-from repro.experiments.runner import run_paired, run_paired_config, run_scenario
+from repro.device.battery import Battery
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    clear_baseline_cache,
+    configure_baseline_cache,
+    run_baseline,
+    run_paired,
+    run_paired_config,
+    run_scenario,
+)
 from repro.metrics.analytic import expected_overflow_waste
 from repro.metrics.waste_loss import compute_waste
+from repro.proxy.gc import ProxyGarbageCollector
 from repro.proxy.policies import PolicyConfig
 from repro.types import RunOutcome
 
@@ -49,6 +59,126 @@ class TestSingleRuns:
         with_gc = run_scenario(outage_trace, PolicyConfig.unified(), gc_interval=86400.0)
         assert plain.stats.read_ids == with_gc.stats.read_ids
         assert plain.stats.forwarded_ids == with_gc.stats.forwarded_ids
+
+
+class TestCleanupOnError:
+    """run_scenario must release resources even when a callback raises."""
+
+    @staticmethod
+    def _raise(*_args, **_kwargs):
+        raise RuntimeError("injected read failure")
+
+    def test_gc_detached_when_callback_raises(self, overflow_trace, monkeypatch):
+        stopped = []
+        original_stop = ProxyGarbageCollector.stop
+
+        def recording_stop(self):
+            stopped.append(self)
+            original_stop(self)
+
+        monkeypatch.setattr(ProxyGarbageCollector, "stop", recording_stop)
+        monkeypatch.setattr(
+            "repro.device.device.ClientDevice.perform_read", self._raise
+        )
+        with pytest.raises(RuntimeError, match="injected"):
+            run_scenario(overflow_trace, PolicyConfig.online(), gc_interval=3600.0)
+        assert len(stopped) == 1
+        assert stopped[0]._handle is None
+
+    def test_battery_accounted_when_callback_raises(
+        self, overflow_trace, monkeypatch
+    ):
+        recorded = []
+        original_stats = runner_module.RunStats
+
+        def recording_stats():
+            stats = original_stats()
+            recorded.append(stats)
+            return stats
+
+        monkeypatch.setattr(runner_module, "RunStats", recording_stats)
+        monkeypatch.setattr(
+            "repro.device.device.ClientDevice.perform_read", self._raise
+        )
+        battery = Battery(capacity=1e9, receive_cost=1.0)
+        with pytest.raises(RuntimeError, match="injected"):
+            run_scenario(overflow_trace, PolicyConfig.online(), battery=battery)
+        assert len(recorded) == 1
+        # The on-line policy forwarded (and drained) before the read blew
+        # up; the finally block must still settle the accounting.
+        assert recorded[0].battery_spent > 0.0
+
+
+class TestBaselineCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        clear_baseline_cache()
+        yield
+        configure_baseline_cache(True)
+        clear_baseline_cache()
+
+    def test_repeat_baseline_is_cached(self, outage_trace):
+        first = run_baseline(outage_trace)
+        second = run_baseline(outage_trace)
+        assert second is first
+
+    def test_distinct_thresholds_are_distinct_entries(self, outage_trace):
+        assert run_baseline(outage_trace) is not run_baseline(
+            outage_trace, threshold=2.5
+        )
+
+    def test_distinct_kwargs_are_distinct_entries(self, outage_trace):
+        assert run_baseline(outage_trace) is not run_baseline(
+            outage_trace, link_latency=0.25
+        )
+
+    def test_equal_trace_different_identity_not_shared(self):
+        config = make_config(days=5.0)
+        first = run_baseline(build_trace(config, seed=0))
+        second = run_baseline(build_trace(config, seed=0))
+        assert first is not second
+        assert first.stats.read_ids == second.stats.read_ids
+
+    def test_unhashable_kwargs_bypass_cache(self, outage_trace):
+        battery = Battery(capacity=1e9, receive_cost=1.0)
+        first = run_baseline(outage_trace, battery=battery)
+        second = run_baseline(outage_trace, battery=battery)
+        assert first is not second
+        assert first.stats.forwarded == second.stats.forwarded
+
+    def test_disabled_cache_reruns(self, outage_trace):
+        configure_baseline_cache(False)
+        first = run_baseline(outage_trace)
+        second = run_baseline(outage_trace)
+        assert first is not second
+        assert first.stats.read_ids == second.stats.read_ids
+
+    def test_cached_and_uncached_results_identical(self, outage_trace):
+        cached = run_baseline(outage_trace)
+        configure_baseline_cache(False)
+        uncached = run_baseline(outage_trace)
+        assert cached.stats.read_ids == uncached.stats.read_ids
+        assert cached.stats.forwarded_ids == uncached.stats.forwarded_ids
+        assert cached.events_processed == uncached.events_processed
+
+    def test_eviction_respects_lru_bound(self):
+        config = make_config(days=2.0)
+        traces = [
+            build_trace(config, seed=seed)
+            for seed in range(runner_module.BASELINE_CACHE_SIZE + 4)
+        ]
+        for trace in traces:
+            run_baseline(trace)
+        assert (
+            len(runner_module._BASELINE_CACHE) == runner_module.BASELINE_CACHE_SIZE
+        )
+        # The oldest traces were evicted; re-running them misses.
+        assert run_baseline(traces[0]) is not None
+
+    def test_run_paired_consults_cache(self, outage_trace):
+        baseline = run_baseline(outage_trace)
+        paired = run_paired(outage_trace, PolicyConfig.on_demand())
+        assert paired.baseline is baseline
 
 
 class TestPairedRuns:

@@ -103,6 +103,169 @@ class TestCancellation:
         assert sim.pending == 3
 
 
+class TestNonFiniteTimes:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_rejects_non_finite_delay(self, sim, bad):
+        with pytest.raises(SimulationError):
+            sim.schedule(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_at_rejects_non_finite_time(self, sim, bad):
+        with pytest.raises(SimulationError):
+            sim.schedule_at(bad, lambda: None)
+
+    def test_rejected_event_leaves_queue_untouched(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+        assert sim.pending == 0
+
+
+class TestStreams:
+    def test_stream_fires_in_order(self, sim):
+        fired = []
+        count = sim.add_stream(
+            [(1.0, fired.append, ("a",)), (2.0, fired.append, ("b",))]
+        )
+        assert count == 2
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_empty_stream_is_noop(self, sim):
+        assert sim.add_stream([]) == 0
+        assert sim.pending == 0
+
+    def test_stream_merges_with_dynamic_events(self, sim):
+        fired = []
+        sim.schedule(1.5, fired.append, "dyn")
+        sim.add_stream([(1.0, fired.append, ("s1",)), (2.0, fired.append, ("s2",))])
+        sim.run()
+        assert fired == ["s1", "dyn", "s2"]
+
+    def test_stream_ties_resolve_in_schedule_order(self, sim):
+        # Events before the stream beat same-time stream items; events
+        # after lose — exactly as if add_stream were per-item schedule_at.
+        fired = []
+        sim.schedule(1.0, fired.append, "before")
+        sim.add_stream([(1.0, fired.append, ("stream",))])
+        sim.schedule(1.0, fired.append, "after")
+        sim.run()
+        assert fired == ["before", "stream", "after"]
+
+    def test_same_time_stream_items_fire_fifo(self, sim):
+        fired = []
+        sim.add_stream([(1.0, fired.append, (label,)) for label in "abcde"])
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_two_streams_tie_in_registration_order(self, sim):
+        fired = []
+        sim.add_stream([(1.0, fired.append, ("first",)), (2.0, fired.append, ("x",))])
+        sim.add_stream([(1.0, fired.append, ("second",))])
+        sim.run()
+        assert fired == ["first", "second", "x"]
+
+    def test_callback_scheduled_mid_stream_interleaves(self, sim):
+        # A dynamic timer created while a stream replays ties *after*
+        # pending stream items (its seq is allocated later).
+        fired = []
+
+        def arm():
+            fired.append("arm")
+            sim.schedule(1.0, fired.append, "timer")
+
+        sim.add_stream(
+            [(1.0, arm, ()), (2.0, fired.append, ("s2",)), (3.0, fired.append, ("s3",))]
+        )
+        sim.run()
+        assert fired == ["arm", "s2", "timer", "s3"]
+
+    def test_pending_counts_unmerged_backlog(self, sim):
+        sim.add_stream([(float(i), lambda: None, ()) for i in range(1, 6)])
+        assert sim.pending == 5
+        sim.step()
+        assert sim.pending == 4
+
+    def test_stream_accepts_generators(self, sim):
+        fired = []
+        sim.add_stream((t, fired.append, (t,)) for t in (1.0, 2.0))
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_stream_first_item_in_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.add_stream([(0.5, lambda: None, ())])
+
+    def test_stream_first_item_non_finite_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.add_stream([(float("nan"), lambda: None, ())])
+
+    def test_unsorted_stream_detected_lazily(self, sim):
+        fired = []
+        sim.add_stream(
+            [(2.0, fired.append, ("a",)), (1.0, fired.append, ("late",))]
+        )
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert fired == ["a"]
+
+    def test_non_finite_mid_stream_detected_lazily(self, sim):
+        fired = []
+        sim.add_stream(
+            [(1.0, fired.append, ("a",)), (float("inf"), fired.append, ("b",))]
+        )
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert fired == ["a"]
+
+    def test_run_until_pauses_and_resumes_mid_stream(self, sim):
+        fired = []
+        sim.add_stream([(float(i), fired.append, (i,)) for i in range(1, 6)])
+        sim.run(until=2.5)
+        assert fired == [1, 2]
+        assert sim.now == 2.5
+        sim.run()
+        assert fired == [1, 2, 3, 4, 5]
+
+    def test_events_processed_includes_stream_items(self, sim):
+        sim.add_stream([(1.0, lambda: None, ()), (2.0, lambda: None, ())])
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_drain_cancelled_preserves_stream_cursor(self, sim):
+        fired = []
+        handles = [sim.schedule(10.0, lambda: None) for _ in range(4)]
+        for handle in handles:
+            handle.cancel()
+        sim.add_stream([(1.0, fired.append, ("a",)), (2.0, fired.append, ("b",))])
+        assert sim.drain_cancelled() == 4
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_stream_equivalent_to_schedule_at(self):
+        # The documented contract: add_stream == schedule_at per item in
+        # program order, for any interleaving with dynamic timers.
+        items = [(1.0, "s1"), (1.0, "s2"), (2.0, "s3"), (3.0, "s4")]
+
+        def build(use_stream):
+            sim = Simulator()
+            fired = []
+            sim.schedule(1.0, fired.append, "pre")
+            if use_stream:
+                sim.add_stream([(t, fired.append, (v,)) for t, v in items])
+            else:
+                for t, v in items:
+                    sim.schedule_at(t, fired.append, v)
+            sim.schedule(2.0, fired.append, "post")
+            sim.run()
+            return fired
+
+        assert build(True) == build(False)
+
+
 class TestRunUntil:
     def test_run_until_stops_before_later_events(self, sim):
         fired = []

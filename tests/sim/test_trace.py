@@ -86,6 +86,19 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             trace.validate()
 
+    def test_outage_before_zero_rejected(self):
+        trace = Trace(duration=100.0, outages=(OutageRecord(-5.0, 10.0),))
+        with pytest.raises(ConfigurationError, match="outside"):
+            trace.validate()
+
+    def test_outage_beyond_duration_rejected(self):
+        trace = Trace(duration=100.0, outages=(OutageRecord(90.0, 110.0),))
+        with pytest.raises(ConfigurationError, match="outside"):
+            trace.validate()
+
+    def test_outage_touching_both_edges_accepted(self):
+        Trace(duration=100.0, outages=(OutageRecord(0.0, 100.0),)).validate()
+
     def test_rank_change_for_unknown_event_rejected(self):
         trace = Trace(
             duration=100.0,
@@ -107,6 +120,12 @@ class TestDerivedViews:
     def test_downtime_fraction_empty(self):
         assert Trace(duration=100.0).downtime_fraction() == 0.0
 
+    def test_downtime_fraction_clamps_out_of_range_outage(self):
+        # Hand-built (unvalidated) traces must not yield fractions
+        # outside [0, 1].
+        trace = Trace(duration=100.0, outages=(OutageRecord(-50.0, 150.0),))
+        assert trace.downtime_fraction() == pytest.approx(1.0)
+
     def test_network_transitions(self):
         trace = Trace(duration=100.0, outages=(OutageRecord(10.0, 20.0),))
         transitions = list(trace.network_transitions())
@@ -119,6 +138,12 @@ class TestDerivedViews:
         trace = Trace(duration=100.0, outages=(OutageRecord(90.0, 100.0),))
         transitions = list(trace.network_transitions())
         assert transitions == [(90.0, NetworkStatus.DOWN)]
+
+    def test_network_transitions_outage_starting_at_end_skipped(self):
+        # An outage whose start coincides with the trace end covers
+        # nothing simulable: no DOWN edge at t=duration.
+        trace = Trace(duration=100.0, outages=(OutageRecord(100.0, 120.0),))
+        assert list(trace.network_transitions()) == []
 
     def test_link_is_up(self):
         trace = Trace(duration=100.0, outages=(OutageRecord(10.0, 20.0),))
