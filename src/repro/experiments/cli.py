@@ -24,12 +24,13 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments import validate as validate_module
 from repro.sim import trace_cache
 from repro.experiments.ascii_plot import MARKERS, plot_table_columns
 from repro.experiments.export import export_tables
 from repro.experiments.figures import ALL_FIGURES
-from repro.experiments.report import Table
+from repro.experiments.report import Table, obs_summary_table
 from repro.units import DAY
 
 
@@ -142,7 +143,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "csv", "json"],
+        choices=["text", "csv", "json", "jsonl"],
         default="text",
         help="output format for figure tables",
     )
@@ -173,6 +174,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record proxy delivery-path trace records (forward/retract/"
+            "expire/…) into a bounded ring buffer and export them as "
+            "JSONL to FILE when the run finishes; implies --jobs 1 "
+            "(worker-process ring buffers are not collected)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            f"ring-buffer capacity for --trace-out (default "
+            f"{obs.DEFAULT_CAPACITY}; older records are dropped first)"
+        ),
+    )
+    parser.add_argument(
+        "--audit",
+        type=int,
+        nargs="?",
+        const=1,
+        default=None,
+        metavar="N",
+        help=(
+            "audit proxy invariants during the run, sampled every N "
+            "proxy transitions (bare --audit audits every transition); "
+            "a violation aborts the run with the trailing trace records "
+            "attached"
+        ),
+    )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "collect per-phase timing/counter probes (trace-build, "
+            "baseline, variant, scatter) and append an observability "
+            "summary table to the output"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines on stderr"
     )
     parser.add_argument(
@@ -184,6 +230,32 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     trace_cache.configure(args.trace_cache)
 
+    if args.audit is not None and args.audit < 1:
+        parser.error("--audit interval must be >= 1")
+    if args.trace_capacity is not None:
+        if args.trace_out is None:
+            parser.error("--trace-capacity requires --trace-out")
+        if args.trace_capacity < 1:
+            parser.error("--trace-capacity must be >= 1")
+    if args.trace_out is not None and args.jobs != 1:
+        print(
+            "warning: --trace-out collects this process's ring buffer only; "
+            "forcing --jobs 1 so worker-process records are not lost",
+            file=sys.stderr,
+        )
+        args.jobs = 1
+    obs_config = None
+    if args.audit is not None or args.trace_out is not None or args.obs:
+        capacity = None
+        if args.trace_out is not None:
+            capacity = args.trace_capacity or obs.DEFAULT_CAPACITY
+        obs_config = obs.ObsConfig(
+            audit_interval=args.audit,
+            trace_capacity=capacity,
+            probes=args.obs,
+        )
+    obs.configure(obs_config)
+
     if args.figure == "list":
         for name, module in sorted(ALL_FIGURES.items()):
             doc = (module.__doc__ or "").strip().splitlines()[0]
@@ -194,17 +266,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.figure == "validate":
         output = run_validation(args.days, args.quiet)
         failures = output.count("[FAIL]")
+        epilogue = _obs_epilogue(args, fmt="text")
+        if epilogue:
+            output = output + "\n\n" + epilogue
         _emit(output, args.output)
         return 1 if failures else 0
 
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
-    chunks = [
-        run_figure(name, days=args.days, seeds=args.seeds, quiet=args.quiet,
-                   fmt=args.format, with_plots=args.plot, jobs=args.jobs)
-        for name in names
-    ]
+    try:
+        chunks = [
+            run_figure(name, days=args.days, seeds=args.seeds, quiet=args.quiet,
+                       fmt=args.format, with_plots=args.plot, jobs=args.jobs)
+            for name in names
+        ]
+    except obs.InvariantViolation as error:
+        # The audit already attached the violated invariants and the
+        # trailing trace records to the message; the ring buffer still
+        # holds them, so export it for post-mortem before bailing.
+        print(f"invariant audit failed:\n{error}", file=sys.stderr)
+        _obs_epilogue(args, fmt=args.format)
+        return 2
+    epilogue = _obs_epilogue(args, fmt=args.format)
+    if epilogue:
+        chunks.append(epilogue)
     _emit("\n\n".join(chunks), args.output)
     return 0
+
+
+def _obs_epilogue(args, fmt: str) -> Optional[str]:
+    """Export ``--trace-out`` and render the ``--obs`` summary.
+
+    Returns the rendered observability summary (to append to the main
+    output), or None when ``--obs`` was not requested.
+    """
+    ctx = obs.active()
+    if args.trace_out is not None and ctx is not None and ctx.recorder is not None:
+        written = ctx.recorder.export_jsonl(args.trace_out)
+        if not args.quiet:
+            held = f"{written} records"
+            if ctx.recorder.dropped:
+                held += f" ({ctx.recorder.dropped} older ones dropped by the ring)"
+            print(f"  [trace: {held} -> {args.trace_out}]", file=sys.stderr)
+    if args.obs:
+        return export_tables([obs_summary_table(obs.summarize_obs())], fmt)
+    return None
 
 
 def _emit(text: str, output: Optional[Path]) -> None:

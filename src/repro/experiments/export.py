@@ -44,11 +44,24 @@ def tables_to_json(tables: Sequence[Table]) -> str:
     return json.dumps([table_to_dict(t) for t in tables], indent=2)
 
 
+def tables_to_jsonl(tables: Sequence[Table]) -> str:
+    """Render tables as JSON Lines: one compact object per table.
+
+    The line-per-record shape matches the trace export of
+    ``--trace-out`` (:meth:`repro.obs.recorder.TraceRecorder.
+    export_jsonl`), so downstream tooling can stream either file with
+    the same reader.
+    """
+    return "\n".join(
+        json.dumps(table_to_dict(t), sort_keys=True) for t in tables
+    )
+
+
 def export_tables(
     tables: Union[Table, Sequence[Table]],
     fmt: str = "text",
 ) -> str:
-    """Render tables in the requested format: text, csv, or json."""
+    """Render tables in the requested format: text, csv, json, jsonl."""
     if isinstance(tables, Table):
         tables = [tables]
     tables = list(tables)
@@ -58,7 +71,11 @@ def export_tables(
         return "\n".join(table_to_csv(t) for t in tables)
     if fmt == "json":
         return tables_to_json(tables)
-    raise ValueError(f"unknown export format {fmt!r} (use text, csv, or json)")
+    if fmt == "jsonl":
+        return tables_to_jsonl(tables)
+    raise ValueError(
+        f"unknown export format {fmt!r} (use text, csv, json, or jsonl)"
+    )
 
 
 def write_export(

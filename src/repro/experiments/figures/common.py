@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.broker.subscriptions import UNLIMITED
 from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import run_paired
@@ -103,7 +104,8 @@ def paired_replicates(
     """
     metrics: List[PairedMetrics] = []
     for seed in seeds:
-        trace = build_trace_cached(config, seed=seed)
+        with obs.PROBES.phase("trace-build"):
+            trace = build_trace_cached(config, seed=seed)
         metrics.append(run_paired(trace, policy, threshold=threshold).metrics)
     return metrics
 

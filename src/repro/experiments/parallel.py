@@ -54,6 +54,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.experiments.runner import run_baseline, run_paired, run_scenario
 from repro.metrics.waste_loss import pair_metrics
 from repro.proxy.policies import PolicyConfig
@@ -89,15 +90,23 @@ def resolve_chunksize(chunksize: Optional[int], tasks: int, workers: int) -> int
     return max(1, min(MAX_AUTO_CHUNK, -(-tasks // (workers * 4))))
 
 
-def _worker_init(trace_cache_dir: Optional[str]) -> None:
-    """Process-pool initializer: inherit the parent's trace-cache setup.
+def _worker_init(
+    trace_cache_dir: Optional[str],
+    obs_config: Optional["obs.ObsConfig"] = None,
+) -> None:
+    """Process-pool initializer: inherit the parent's process-wide setup.
 
     Worker processes start with fresh module state, so the parent's
     :func:`repro.sim.trace_cache.configure` call would otherwise not
     reach them — and every worker would regenerate traces the disk
-    cache already holds.
+    cache already holds. The observability configuration rides along
+    for the same reason: an ``--audit`` run must audit inside every
+    worker, not just the parent (each worker gets its own ring buffer
+    and transition counter; an invariant violation raised in a worker
+    propagates through the future exactly like any other error).
     """
     trace_cache.configure(trace_cache_dir)
+    obs.configure(obs_config)
 
 
 def _run_chunk(fn: Callable[..., Any], chunk: Sequence[Tuple[Any, ...]]) -> List[Any]:
@@ -143,7 +152,10 @@ def parallel_map(
     with ProcessPoolExecutor(
         max_workers=effective,
         initializer=_worker_init,
-        initargs=(None if cache_dir is None else str(cache_dir),),
+        initargs=(
+            None if cache_dir is None else str(cache_dir),
+            obs.active_config(),
+        ),
     ) as pool:
         futures = [pool.submit(_run_chunk, fn, part) for part in chunks]
         index = 0
@@ -230,7 +242,8 @@ def group_paired_tasks(tasks: Sequence[PairedTask]) -> List[ScenarioBatchTask]:
 
 def execute_pair(task: PairedTask) -> PairedOutcome:
     """Worker: run one paired (baseline, policy) cell of a sweep grid."""
-    trace = build_trace_cached(task.config, seed=task.seed)
+    with obs.PROBES.phase("trace-build"):
+        trace = build_trace_cached(task.config, seed=task.seed)
     result = run_paired(trace, task.policy, threshold=task.config.threshold)
     metrics = result.metrics
     return PairedOutcome(
@@ -251,12 +264,14 @@ def execute_batch(batch: ScenarioBatchTask) -> Tuple[PairedOutcome, ...]:
     arithmetic to ``run_paired`` per cell, minus the redundant baseline
     re-executions.
     """
-    trace = build_trace_cached(batch.config, seed=batch.seed)
+    with obs.PROBES.phase("trace-build"):
+        trace = build_trace_cached(batch.config, seed=batch.seed)
     threshold = batch.config.threshold
     baseline = run_baseline(trace, threshold=threshold)
     outcomes = []
     for cell in batch.cells:
-        candidate = run_scenario(trace, cell.policy, threshold=threshold)
+        with obs.PROBES.phase("variant"):
+            candidate = run_scenario(trace, cell.policy, threshold=threshold)
         metrics = pair_metrics(baseline.stats, candidate.stats)
         outcomes.append(
             PairedOutcome(
@@ -304,12 +319,13 @@ def run_pair_grid(
         # Batches harvest in submission order; once every batch covering
         # the next grid index has landed, stream the contiguous prefix.
         nonlocal emitted
-        for cell, outcome in zip(batches[batch_index].cells, outcomes):
-            results[cell.index] = outcome
-        while emitted < len(results) and results[emitted] is not None:
-            if on_result is not None:
-                on_result(emitted, results[emitted])
-            emitted += 1
+        with obs.PROBES.phase("scatter"):
+            for cell, outcome in zip(batches[batch_index].cells, outcomes):
+                results[cell.index] = outcome
+            while emitted < len(results) and results[emitted] is not None:
+                if on_result is not None:
+                    on_result(emitted, results[emitted])
+                emitted += 1
 
     parallel_map(
         execute_batch,

@@ -64,6 +64,28 @@ def render_table(
     return "\n".join(lines)
 
 
+def obs_summary_table(summary: dict) -> Table:
+    """Render an observability snapshot as a :class:`Table`.
+
+    Takes the plain mapping produced by :func:`repro.obs.summarize_obs`
+    (``{"phases": {name: {"calls", "seconds"}}, "counters": {...}}``)
+    rather than importing the obs layer, so rendering stays usable on
+    any JSON round-tripped summary. Phase rows first (most expensive
+    first, as summarize_obs orders them), then counters.
+    """
+    table = Table(
+        title="Observability summary",
+        headers=["metric", "calls", "seconds"],
+    )
+    for name, entry in summary.get("phases", {}).items():
+        table.add_row(name, int(entry["calls"]), f"{float(entry['seconds']):.4f}")
+    for name, value in summary.get("counters", {}).items():
+        table.add_row(name, int(value), "-")
+    if not table.rows:
+        table.notes.append("nothing recorded (probes disabled?)")
+    return table
+
+
 def render_series(
     title: str,
     x_label: str,

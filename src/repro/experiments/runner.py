@@ -24,6 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.broker.message import Notification
 from repro.device.battery import Battery
 from repro.device.device import ClientDevice
@@ -100,8 +101,17 @@ def run_scenario(
     and without GC, since GC only reclaims memory). ``replication``
     swaps the single proxy for a primary/backup pair, optionally
     crashing the primary mid-run.
+
+    When process-wide observability is configured (:func:`repro.obs.
+    configure` — the CLI's ``--trace-out`` / ``--audit`` / ``--obs``),
+    the proxy records delivery-path trace records into the shared ring
+    buffer and samples the invariant audit; observability never changes
+    the simulated outcome, only raises on a violated invariant.
     """
     policy.validate()
+    obs_ctx = obs.active()
+    probes = obs.PROBES
+    probes.count("runs")
     sim = Simulator()
     stats = RunStats()
 
@@ -114,7 +124,14 @@ def run_scenario(
     device = ClientDevice(sim, link, stats, battery=battery, storage=storage)
     device.add_topic(topic, threshold)
     if replication is None:
-        proxy = LastHopProxy(sim, link, ProxyConfig(policy=policy), stats)
+        proxy = LastHopProxy(
+            sim,
+            link,
+            ProxyConfig(policy=policy),
+            stats,
+            recorder=None if obs_ctx is None else obs_ctx.recorder,
+            auditor=None if obs_ctx is None else obs_ctx.auditor,
+        )
     else:
         proxy = ReplicatedProxy(
             sim,
@@ -186,6 +203,7 @@ def run_scenario(
             collector.stop()
         if battery is not None:
             stats.battery_spent = battery.spent
+        probes.count("events", sim.events_processed)
 
     state = proxy.topic_state(topic)
     return RunResult(
@@ -238,17 +256,28 @@ def run_baseline(trace: Trace, threshold: float = 0.0, **kwargs) -> RunResult:
     be treated as read-only — the paired metrics computation only ever
     reads it.
     """
+    probes = obs.PROBES
     if not _baseline_cache_enabled:
-        return run_scenario(trace, PolicyConfig.online(), threshold=threshold, **kwargs)
+        with probes.phase("baseline"):
+            return run_scenario(
+                trace, PolicyConfig.online(), threshold=threshold, **kwargs
+            )
     key = (id(trace), float(threshold), tuple(sorted(kwargs.items())))
     try:
         entry = _BASELINE_CACHE.get(key)
     except TypeError:  # unhashable kwarg value — run uncached
-        return run_scenario(trace, PolicyConfig.online(), threshold=threshold, **kwargs)
+        with probes.phase("baseline"):
+            return run_scenario(
+                trace, PolicyConfig.online(), threshold=threshold, **kwargs
+            )
     if entry is not None and entry[0] is trace:
         _BASELINE_CACHE.move_to_end(key)
+        probes.count("baseline-cache-hits")
         return entry[1]
-    result = run_scenario(trace, PolicyConfig.online(), threshold=threshold, **kwargs)
+    with probes.phase("baseline"):
+        result = run_scenario(
+            trace, PolicyConfig.online(), threshold=threshold, **kwargs
+        )
     # The entry keeps the trace alive, so its id cannot be reused by a
     # different (garbage-collected-and-reallocated) trace while cached.
     _BASELINE_CACHE[key] = (trace, result)
@@ -272,7 +301,8 @@ def run_paired(
     ``(trace, threshold)`` simulates the baseline once.
     """
     baseline = run_baseline(trace, threshold=threshold, **kwargs)
-    candidate = run_scenario(trace, policy, threshold=threshold, **kwargs)
+    with obs.PROBES.phase("variant"):
+        candidate = run_scenario(trace, policy, threshold=threshold, **kwargs)
     return PairedResult(
         baseline=baseline,
         policy=candidate,
@@ -295,5 +325,6 @@ def run_paired_config(
     either way.
     """
     builder = build_trace_cached if cache_trace else build_trace
-    trace = builder(config, seed=seed)
+    with obs.PROBES.phase("trace-build"):
+        trace = builder(config, seed=seed)
     return run_paired(trace, policy, threshold=config.threshold, **kwargs)

@@ -14,6 +14,7 @@ in any other formula.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Callable, Deque, Optional
 
@@ -89,7 +90,12 @@ class DelayTracker:
         if not self._drop_delays:
             return 0.0
         ordered = sorted(self._drop_delays)
-        index = min(len(ordered) - 1, int(self._percentile * len(ordered)))
+        # Nearest-rank percentile: ceil(p·n) − 1. The old int(p·n) was
+        # biased high at small windows (p=0.5 over 2 samples picked the
+        # max); nearest-rank makes p=0.5 the statistical median and
+        # p=1.0 the max for every n.
+        index = max(0, min(len(ordered) - 1,
+                           math.ceil(self._percentile * len(ordered)) - 1))
         return min(self._max_delay, ordered[index])
 
     def reset(self) -> None:

@@ -16,7 +16,15 @@ from repro.proxy.state import TopicState
 
 
 class InvariantViolation(AssertionError):
-    """A structural invariant of the proxy state does not hold."""
+    """A structural invariant of the proxy state does not hold.
+
+    When raised by the sampled audit mode (:mod:`repro.obs.audit`),
+    ``violations`` holds the individual findings and ``trace_context``
+    the trailing delivery-path records that led up to the failure.
+    """
+
+    violations: List[str] = []
+    trace_context: tuple = ()
 
 
 def check_topic_state(state: TopicState, now: float) -> List[str]:
@@ -80,7 +88,25 @@ def check_topic_state(state: TopicState, now: float) -> List[str]:
             f"events below rank threshold still queued: {sorted(below)}"
         )
 
-    # 6. Counters are sane.
+    # 6. No live timer handle for a forgotten event: every pending
+    #    expiration/delay timer must reference an event the history
+    #    still knows, or the timer can never be reclaimed (and would
+    #    fire against state that no longer exists).
+    for name, handles in (
+        ("expiration", state.expiration_handles),
+        ("delay", state.delay_handles),
+    ):
+        forgotten = sorted(
+            event_id
+            for event_id, handle in handles.items()
+            if not handle.cancelled and event_id not in state.history
+        )
+        if forgotten:
+            violations.append(
+                f"live {name} timers for events missing from history: {forgotten}"
+            )
+
+    # 7. Counters are sane.
     if state.queue_size < 0:
         violations.append(f"negative client queue estimate: {state.queue_size}")
     if state.prefetch_limit < 0:

@@ -10,6 +10,7 @@ calculate a moving average" (§3.2).
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Deque, Optional
 
@@ -21,7 +22,14 @@ DEFAULT_WINDOW: int = 10
 
 
 class MovingAverage:
-    """Simple moving average over the last ``window`` observations."""
+    """Simple moving average over the last ``window`` observations.
+
+    The running sum is updated incrementally (O(1) per push) but
+    recomputed exactly from the window every ``window`` evictions:
+    incremental add/subtract accumulates floating-point drift over
+    millions of pushes, and the periodic :func:`math.fsum` rebase bounds
+    the error to at most one window's worth of rounding.
+    """
 
     def __init__(self, window: int = DEFAULT_WINDOW) -> None:
         if window < 1:
@@ -29,6 +37,7 @@ class MovingAverage:
         self._window = window
         self._values: Deque[float] = deque(maxlen=window)
         self._sum = 0.0
+        self._evictions = 0
 
     @property
     def window(self) -> int:
@@ -42,9 +51,17 @@ class MovingAverage:
     def push(self, value: float) -> None:
         """Record one observation."""
         if len(self._values) == self._window:
-            self._sum -= self._values[0]
-        self._values.append(value)
-        self._sum += value
+            evicted = self._values[0]
+            self._values.append(value)  # deque drops the head itself
+            self._evictions += 1
+            if self._evictions >= self._window:
+                self._evictions = 0
+                self._sum = math.fsum(self._values)
+            else:
+                self._sum += value - evicted
+        else:
+            self._values.append(value)
+            self._sum += value
 
     @property
     def value(self) -> Optional[float]:
@@ -61,6 +78,7 @@ class MovingAverage:
     def reset(self) -> None:
         self._values.clear()
         self._sum = 0.0
+        self._evictions = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MovingAverage(window={self._window}, value={self.value})"
@@ -81,6 +99,16 @@ class IntervalAverage:
     def count(self) -> int:
         """Number of intervals (not timestamps) observed in the window."""
         return self._gaps.count
+
+    @property
+    def last(self) -> Optional[float]:
+        """The newest timestamp recorded, or None before the first.
+
+        Callers merging out-of-order logs (the proxy's offline read
+        reports) consult this to skip timestamps the window already
+        covers instead of tripping the non-decreasing check.
+        """
+        return self._last
 
     def push(self, timestamp: float) -> None:
         """Record one timestamp; out-of-order timestamps are rejected."""

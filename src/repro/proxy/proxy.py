@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 from repro.broker.message import Notification
 from repro.errors import ConfigurationError, ProxyError
 from repro.metrics.accounting import RunStats
+from repro.obs.audit import Auditor
+from repro.obs.recorder import TraceRecorder
 from repro.proxy.delay import DelayTracker
 from repro.proxy.policies import PolicyConfig
 from repro.proxy.prefetch import BufferPrefetcher, RatePrefetcher
@@ -83,12 +85,20 @@ class LastHopProxy:
         transport: Transport,
         config: Optional[ProxyConfig] = None,
         stats: Optional[RunStats] = None,
+        recorder: Optional[TraceRecorder] = None,
+        auditor: Optional[Auditor] = None,
     ) -> None:
         self._sim = sim
         self._transport = transport
         self._config = config or ProxyConfig()
         self._config.validate()
         self._stats = stats if stats is not None else RunStats()
+        #: Observability hooks (:mod:`repro.obs`): a bounded structured
+        #: trace recorder and a sampled invariant auditor. Both default
+        #: to None, in which case every instrumented site reduces to a
+        #: single ``is not None`` check.
+        self._recorder = recorder
+        self._auditor = auditor
         self._states: Dict[TopicId, TopicState] = {}
         self._buffer = BufferPrefetcher(self._config.policy)
         self._rate = RatePrefetcher(self._config.policy)
@@ -107,6 +117,11 @@ class LastHopProxy:
     @property
     def policy(self) -> PolicyConfig:
         return self._config.policy
+
+    @property
+    def retracted_count(self) -> int:
+        """Retraction-dedup entries currently held (GC-bounded)."""
+        return len(self._retracted)
 
     def add_topic(
         self,
@@ -170,18 +185,22 @@ class LastHopProxy:
             self._stats.arrivals += 1
             self._handle_new_event(state, notification)
         self.try_forwarding(state)
+        if self._auditor is not None:
+            self._auditor.maybe_audit(self._sim, state)
 
     def _handle_rank_change(
         self, state: TopicState, existing: Notification, update: Notification
     ) -> None:
         """The pseudo-code's first branch: the rank of a known event moved."""
         tracker = self._delay_trackers[state.topic]
+        old_rank = existing.rank
         if update.rank < existing.rank:
             tracker.record_drop(self._sim.now - existing.published_at)
         existing.rank = update.rank
 
         if update.rank < state.rank_threshold:
             # "if rank has been lowered below the threshold"
+            outcome = "dropped"
             was_queued = state.remove_everywhere(existing.event_id)
             delay_handle = state.delay_handles.pop(existing.event_id, None)
             if delay_handle is not None:
@@ -189,6 +208,7 @@ class LastHopProxy:
                 was_queued = True
             if existing.event_id in state.forwarded:
                 # "tell client of rank drop"
+                outcome = "retracted"
                 if existing.event_id not in self._retracted:
                     self._retracted.add(existing.event_id)
                     state.pending_retractions.append(existing.event_id)
@@ -198,8 +218,14 @@ class LastHopProxy:
         else:
             # Boost or within-threshold adjustment: re-key the event in
             # whichever queue holds it so ranked selection stays correct.
+            outcome = "reordered"
             for queue in (state.outgoing, state.prefetch, state.holding):
                 queue.reorder(existing)
+        if self._recorder is not None:
+            self._recorder.rank_change(
+                self._sim.now, state.topic, existing.event_id,
+                old_rank, update.rank, outcome,
+            )
 
     def _handle_new_event(self, state: TopicState, notification: Notification) -> None:
         """The pseudo-code's main branch: a genuinely new notification."""
@@ -209,6 +235,10 @@ class LastHopProxy:
         if notification.is_expired(self._sim.now):
             # Dead on arrival (possible after wide-area routing latency).
             self._stats.expired_at_proxy += 1
+            if self._recorder is not None:
+                self._recorder.expire_at_proxy(
+                    self._sim.now, state.topic, notification.event_id, "arrival"
+                )
             return
         self._stats.accepted += 1
         state.history[notification.event_id] = notification
@@ -307,6 +337,10 @@ class LastHopProxy:
             for stale in queue.prune_expired(now):
                 self._stats.expired_at_proxy += 1
                 self._forget_event(state, stale.event_id)
+                if self._recorder is not None:
+                    self._recorder.expire_at_proxy(
+                        now, state.topic, stale.event_id, "read"
+                    )
 
         # "best ← get_highest_ranked(N, outgoing ∪ prefetch ∪ holding)"
         best = highest_ranked(n, state.outgoing, state.prefetch, state.holding)
@@ -336,6 +370,12 @@ class LastHopProxy:
             self.try_forwarding(state)
         finally:
             self._in_read = False
+        if self._recorder is not None:
+            self._recorder.read_exchange(
+                now, state.topic, n, candidates, len(difference), queue_size
+            )
+        if self._auditor is not None:
+            self._auditor.maybe_audit(self._sim, state)
         return ReadResponse(sent=tuple(difference), candidates=candidates)
 
     def on_queue_report(self, topic: TopicId, queue_size: int) -> None:
@@ -362,14 +402,24 @@ class LastHopProxy:
         the read interval from up-reads only and grossly overestimate it
         on mostly-disconnected links. The device piggybacks the log
         (a few bytes per read) on its reconnection announcement.
+
+        Report timestamps are merged monotonically: the log is sorted,
+        and entries that predate the newest timestamp already recorded
+        (e.g. when the reconnection READ was processed before the
+        report arrived) update the read-size average but are skipped by
+        the interval average, whose window already covers that span. A
+        reordered device log must never kill the run.
         """
         state = self.topic_state(topic)
         policy = self._config.policy
-        for time, n in reads:
+        for _time, n in reads:
             if n < 0:
                 raise ProxyError(f"read report with negative N: {n}")
+        for time, n in sorted(reads, key=lambda entry: entry[0]):
             state.old_reads.push(float(n))
-            state.old_times.push(time)
+            last = state.old_times.last
+            if last is None or time >= last:
+                state.old_times.push(time)
         if reads and policy.expiration_threshold is None:
             state.expiration_threshold = state.old_times.value_or(
                 policy.initial_expiration_threshold
@@ -385,6 +435,9 @@ class LastHopProxy:
         if status is NetworkStatus.UP:
             for state in self._states.values():
                 self.try_forwarding(state)
+        if self._auditor is not None:
+            for state in self._states.values():
+                self._auditor.maybe_audit(self._sim, state)
 
     # ------------------------------------------------------------------
     # try_forwarding()
@@ -401,6 +454,8 @@ class LastHopProxy:
             event_id = state.pending_retractions.popleft()
             self._transport.retract(event_id)
             self._stats.retractions_sent += 1
+            if self._recorder is not None:
+                self._recorder.retract(now, state.topic, event_id)
 
         # "first empty the outgoing queue"
         while True:
@@ -410,6 +465,10 @@ class LastHopProxy:
             if event.is_expired(now):
                 self._stats.expired_at_proxy += 1
                 self._forget_event(state, event.event_id)
+                if self._recorder is not None:
+                    self._recorder.expire_at_proxy(
+                        now, state.topic, event.event_id, "outgoing"
+                    )
                 continue
             if not self._in_read and not self._push_allowed(state, event):
                 if state.quiet_wakeup is not None:
@@ -434,6 +493,10 @@ class LastHopProxy:
             if event.is_expired(now):
                 self._stats.expired_at_proxy += 1
                 self._forget_event(state, event.event_id)
+                if self._recorder is not None:
+                    self._recorder.expire_at_proxy(
+                        now, state.topic, event.event_id, "prefetch"
+                    )
                 continue
             if (
                 state.schedule is not None
@@ -441,6 +504,8 @@ class LastHopProxy:
                 and not state.push_budget.try_spend(now)
             ):
                 state.prefetch.add(event)
+                if self._recorder is not None:
+                    self._recorder.budget_exhaust(now, state.topic, event.event_id)
                 break  # today's push budget is spent
             self._do_forward(state, event)
 
@@ -457,6 +522,8 @@ class LastHopProxy:
             state.quiet_wakeup = self._sim.schedule_at(
                 quiet_end, self._quiet_timeout, state
             )
+        if self._recorder is not None:
+            self._recorder.quiet_defer(self._sim.now, state.topic, quiet_end)
         return True
 
     def _push_allowed(self, state: TopicState, event: Notification) -> bool:
@@ -476,6 +543,10 @@ class LastHopProxy:
             return False
         if not state.push_budget.try_spend(self._sim.now):
             state.prefetch.add(event)
+            if self._recorder is not None:
+                self._recorder.budget_exhaust(
+                    self._sim.now, state.topic, event.event_id
+                )
             return False
         return True
 
@@ -483,6 +554,8 @@ class LastHopProxy:
         """End of a quiet window: resume deferred pushes."""
         state.quiet_wakeup = None
         self.try_forwarding(state)
+        if self._auditor is not None:
+            self._auditor.maybe_audit(self._sim, state)
 
     def _do_forward(self, state: TopicState, event: Notification) -> None:
         """``do_forward(event)`` — ship one notification downlink."""
@@ -491,6 +564,11 @@ class LastHopProxy:
         state.queue_size += 1
         state.forwarded.add(event.event_id)
         self._stats.record_forward(event.event_id, event.size_bytes, mode)
+        if self._recorder is not None:
+            self._recorder.forward(
+                self._sim.now, state.topic, event.event_id, mode.name,
+                state.queue_size,
+            )
         # The device owns expiry from here on.
         handle = state.expiration_handles.pop(event.event_id, None)
         if handle is not None:
@@ -509,8 +587,14 @@ class LastHopProxy:
             removed = True
         if removed:
             self._stats.expired_at_proxy += 1
+            if self._recorder is not None:
+                self._recorder.expire_at_proxy(
+                    self._sim.now, state.topic, event.event_id, "timer"
+                )
         # History is retained so late rank changes still match; the GC
         # horizon (collect_garbage) reclaims it eventually.
+        if self._auditor is not None:
+            self._auditor.maybe_audit(self._sim, state)
 
     def _delay_timeout(self, state: TopicState, event: Notification) -> None:
         """``delay_timeout(event)`` — after the delay, allow prefetching."""
@@ -521,6 +605,8 @@ class LastHopProxy:
             return  # demoted while delayed; already accounted
         state.prefetch.add(event)
         self.try_forwarding(state)
+        if self._auditor is not None:
+            self._auditor.maybe_audit(self._sim, state)
 
     def _forget_event(self, state: TopicState, event_id: EventId) -> None:
         state.cancel_timers(event_id)
@@ -537,6 +623,7 @@ class LastHopProxy:
         """
         reclaimed = 0
         now = self._sim.now
+        retracted = self._retracted
         for state in self._states.values():
             for queue in (state.outgoing, state.prefetch, state.holding):
                 # Queues self-compact on mutation past the same threshold
@@ -554,6 +641,20 @@ class LastHopProxy:
                 for event_id in doomed:
                     del state.history[event_id]
                     state.forwarded.discard(event_id)
+                    # A drop-before-forward leaves its expiration timer
+                    # armed; cancel it with the history entry or the
+                    # handle map (and the engine heap) grow per-event
+                    # forever on year-long runs.
+                    handle = state.expiration_handles.pop(event_id, None)
+                    if handle is not None:
+                        handle.cancel()
+                        reclaimed += 1
+                    # Retraction bookkeeping is per-event too: once the
+                    # history forgets the event, no late rank change can
+                    # re-retract it, so its dedup entry is dead weight.
+                    if event_id in retracted:
+                        retracted.remove(event_id)
+                        reclaimed += 1
                 reclaimed += len(doomed)
         reclaimed += self._sim.drain_cancelled()
         return reclaimed

@@ -287,6 +287,44 @@ class Simulator:
         finally:
             self._running = False
 
+    def audit(self) -> List[str]:
+        """Check the engine's structural invariants; returns violations.
+
+        Used by the sampled invariant-audit mode (:mod:`repro.obs`):
+
+        * **heap monotonicity** — every heap entry respects the binary
+          min-heap property over ``(time, seq)``, so the next event
+          popped really is the earliest pending one;
+        * **no past events** — no pending entry is scheduled before the
+          current clock (``schedule_at`` forbids it; corruption here
+          means time would run backwards);
+        * **stream accounting** — the lazily merged stream backlog can
+          never go negative.
+
+        Cost is O(pending); callers sample rather than check per event.
+        """
+        violations: List[str] = []
+        heap = self._heap
+        now = self._now
+        for index, entry in enumerate(heap):
+            if index > 0:
+                parent = heap[(index - 1) >> 1]
+                if (entry.time, entry.seq) < (parent.time, parent.seq):
+                    violations.append(
+                        f"engine heap property broken at index {index}: "
+                        f"t={entry.time:.3f} sorts before parent t={parent.time:.3f}"
+                    )
+            if entry.time < now:
+                violations.append(
+                    f"engine heap holds an entry at t={entry.time:.3f} "
+                    f"before the clock t={now:.3f}"
+                )
+        if self._stream_backlog < 0:
+            violations.append(
+                f"negative static-stream backlog: {self._stream_backlog}"
+            )
+        return violations
+
     def drain_cancelled(self) -> int:
         """Compact the heap by discarding cancelled entries.
 

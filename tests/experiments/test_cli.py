@@ -38,3 +38,65 @@ class TestRun:
     def test_run_figure_helper_returns_text(self):
         text = cli.run_figure("fig1", days=2.0, quiet=True)
         assert "Figure 1" in text
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _reset_obs(self):
+        from repro import obs
+
+        yield
+        obs.configure(None)
+
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        assert cli.main(
+            ["fig1", "--days", "2", "--quiet", "--trace-out", str(out)]
+        ) == 0
+        records = load_jsonl(out)
+        assert records
+        assert all("kind" in record for record in records)
+        assert any(record["kind"] == "forward" for record in records)
+
+    def test_trace_out_forces_single_job(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert cli.main(
+            ["fig1", "--days", "2", "--quiet", "--jobs", "2",
+             "--trace-out", str(out)]
+        ) == 0
+        assert "forcing --jobs 1" in capsys.readouterr().err
+        assert out.exists()
+
+    def test_audit_smoke_run_is_clean(self, capsys):
+        assert cli.main(["fig1", "--days", "2", "--quiet", "--audit"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_obs_appends_summary_table(self, capsys):
+        # fig3 routes through the paired runner, so all of the pipeline
+        # phases (trace-build, baseline, variant) should be attributed.
+        assert cli.main(["fig3", "--days", "2", "--quiet", "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "Observability summary" in out
+        for phase in ("trace-build", "baseline", "variant"):
+            assert phase in out
+
+    def test_jsonl_format(self, capsys):
+        import json
+
+        assert cli.main(
+            ["fig1", "--days", "2", "--quiet", "--format", "jsonl"]
+        ) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert lines
+        for line in lines:
+            assert "title" in json.loads(line)
+
+    def test_bad_audit_interval_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig1", "--days", "2", "--audit", "0"])
+
+    def test_trace_capacity_requires_trace_out(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig1", "--days", "2", "--trace-capacity", "64"])

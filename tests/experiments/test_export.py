@@ -82,3 +82,24 @@ class TestCliIntegration:
 
         cli.main(["list"])
         assert "validate" in capsys.readouterr().out
+
+
+class TestJsonl:
+    def test_one_compact_object_per_table(self, table):
+        from repro.experiments.export import tables_to_jsonl
+
+        rendered = tables_to_jsonl([table, table])
+        lines = rendered.splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            entry = json.loads(line)
+            assert entry["title"] == "Demo"
+            assert entry["headers"] == ["x", "y"]
+
+    def test_export_tables_jsonl(self, table):
+        rendered = export_tables(table, "jsonl")
+        assert json.loads(rendered)["notes"] == ["a note"]
+
+    def test_unknown_format_message_lists_jsonl(self, table):
+        with pytest.raises(ValueError, match="jsonl"):
+            export_tables(table, "yaml")

@@ -43,3 +43,27 @@ class TestSeries:
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ValueError):
             render_series("fig", "x", [1.0, 2.0], [("bad", [0.5])])
+
+
+class TestObsSummaryTable:
+    def test_phases_then_counters(self):
+        from repro.experiments.report import obs_summary_table
+
+        table = obs_summary_table(
+            {
+                "phases": {"variant": {"calls": 3, "seconds": 1.23456}},
+                "counters": {"runs": 3, "events": 99},
+            }
+        )
+        assert table.headers == ["metric", "calls", "seconds"]
+        assert table.rows[0] == ["variant", 3, "1.2346"]
+        assert ["runs", 3, "-"] in table.rows
+        assert ["events", 99, "-"] in table.rows
+
+    def test_empty_summary_notes_it(self):
+        from repro.experiments.report import obs_summary_table
+
+        table = obs_summary_table({})
+        assert table.rows == []
+        assert table.notes  # says nothing was recorded
+        assert "recorded" in table.notes[0]

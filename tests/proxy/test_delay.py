@@ -83,3 +83,43 @@ class TestValidation:
     def test_negative_max_delay_rejected(self):
         with pytest.raises(ConfigurationError):
             DelayTracker(max_delay=-1.0)
+
+
+class TestPercentileBoundaries:
+    """Nearest-rank index ``ceil(p*n) - 1`` at tiny window sizes.
+
+    The old ``int(p * n)`` index was biased high: over two samples the
+    median picked the max. These pin the nearest-rank semantics for
+    every (n, p) corner the adaptive delay actually visits early in a
+    run, when only a handful of drops have been observed.
+    """
+
+    @staticmethod
+    def _tracker(percentile, delays):
+        tracker = DelayTracker(percentile=percentile)
+        for delay in delays:
+            tracker.record_drop(delay)
+        return tracker
+
+    @pytest.mark.parametrize("percentile", [0.5, 0.95, 1.0])
+    def test_single_sample_is_that_sample(self, percentile):
+        tracker = self._tracker(percentile, [7.0])
+        assert tracker.current_delay() == pytest.approx(7.0)
+
+    def test_two_samples_median_is_lower(self):
+        tracker = self._tracker(0.5, [10.0, 20.0])
+        assert tracker.current_delay() == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("percentile", [0.95, 1.0])
+    def test_two_samples_high_percentile_is_max(self, percentile):
+        tracker = self._tracker(percentile, [10.0, 20.0])
+        assert tracker.current_delay() == pytest.approx(20.0)
+
+    def test_three_samples_median_is_middle(self):
+        tracker = self._tracker(0.5, [30.0, 10.0, 20.0])
+        assert tracker.current_delay() == pytest.approx(20.0)
+
+    @pytest.mark.parametrize("percentile", [0.95, 1.0])
+    def test_three_samples_high_percentile_is_max(self, percentile):
+        tracker = self._tracker(percentile, [30.0, 10.0, 20.0])
+        assert tracker.current_delay() == pytest.approx(30.0)

@@ -80,3 +80,64 @@ class TestSweeps:
         gc = collect(sim, proxy, GcConfig(interval=5.0))
         sim.run(until=12.0)
         assert gc.sweeps == 2
+
+
+class TestRetractionPruning:
+    """The retraction dedup set must not grow without bound (it did)."""
+
+    @staticmethod
+    def _retracting_proxy(sim):
+        proxy = LastHopProxy(sim, NullTransport(), ProxyConfig(PolicyConfig.online()))
+        proxy.add_topic(TOPIC, rank_threshold=0.5)
+        return proxy
+
+    def _publish_and_retract(self, sim, proxy, event_id):
+        base = Notification(
+            event_id=EventId(event_id), topic=TOPIC, rank=1.0, published_at=sim.now
+        )
+        proxy.on_notification(base)  # forwarded immediately (online, link up)
+        drop = Notification(
+            event_id=EventId(event_id), topic=TOPIC, rank=0.1, published_at=sim.now
+        )
+        proxy.on_notification(drop)  # below threshold -> retraction
+
+    def test_sweep_prunes_retraction_bookkeeping(self):
+        sim = Simulator()
+        proxy = self._retracting_proxy(sim)
+        for i in range(10):
+            self._publish_and_retract(sim, proxy, i)
+        assert proxy.retracted_count == 10
+
+        def sweep():
+            reclaimed = proxy.collect_garbage(history_horizon=10.0)
+            assert reclaimed >= 10  # history entries plus dedup entries
+
+        sim.schedule_at(100.0, sweep)
+        sim.run(until=101.0)
+        assert proxy.retracted_count == 0
+        assert len(proxy.topic_state(TOPIC).history) == 0
+
+    def test_retraction_set_stays_bounded_across_cycles(self):
+        # Year-long runs retract events forever; periodic sweeps must
+        # keep the dedup set proportional to the horizon, not the run.
+        sim = Simulator()
+        proxy = self._retracting_proxy(sim)
+        gc = ProxyGarbageCollector(
+            sim, proxy, GcConfig(interval=10.0, history_horizon=10.0)
+        )
+        high_water = 0
+
+        def burst(start_id):
+            for offset in range(5):
+                self._publish_and_retract(sim, proxy, start_id + offset)
+            nonlocal high_water
+            high_water = max(high_water, proxy.retracted_count)
+
+        for round_index in range(20):
+            sim.schedule_at(25.0 * round_index + 1.0, burst, 5 * round_index)
+        sim.run(until=600.0)
+        gc.stop()
+        # Each burst retracts 5 events; every sweep after the horizon
+        # forgets them, so the set never accumulates across bursts.
+        assert high_water <= 10
+        assert proxy.retracted_count == 0

@@ -98,3 +98,44 @@ def test_property_moving_average_matches_naive(values, window):
         ma.push(v)
     expected = sum(values[-window:]) / len(values[-window:])
     assert ma.value == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+class TestRunningSumDrift:
+    """The incremental running sum must not drift from the true window sum."""
+
+    def test_rebase_clears_large_magnitude_residue(self):
+        # Four huge values pass through the window, then small ones.
+        # Pure add/subtract loses every 0.1 against the 1e17 running
+        # sum (1e17 + 0.1 == 1e17 in float64), leaving value == 0.0
+        # forever; the periodic fsum rebase restores the exact window
+        # sum within one window's worth of evictions.
+        ma = MovingAverage(window=4)
+        for _ in range(4):
+            ma.push(1e17)
+        for _ in range(12):
+            ma.push(0.1)
+        assert ma.value == pytest.approx(0.1, rel=1e-12)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e12, max_value=1e12,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=300,
+        ),
+        window=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_value_tracks_fsum_of_window(self, values, window):
+        import math
+
+        ma = MovingAverage(window)
+        for value in values:
+            ma.push(value)
+        tail = values[-window:]
+        expected = math.fsum(tail) / len(tail)
+        # Error is bounded by one window's worth of rounding against the
+        # largest magnitude seen — independent of how many values were
+        # pushed overall (that is what the periodic rebase guarantees).
+        scale = max(1.0, max(abs(v) for v in values))
+        assert abs(ma.value - expected) <= 1e-9 * scale
