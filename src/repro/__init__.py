@@ -40,6 +40,7 @@ from repro.device.cooperation import AdHocNetwork, DeviceGroup
 from repro.device.device import ClientDevice
 from repro.device.link import LastHopLink
 from repro.device.storage import StoragePolicy
+from repro.errors import ExportError, ReproError
 from repro.experiments.runner import (
     PairedResult,
     ReplicationSpec,
@@ -48,6 +49,8 @@ from repro.experiments.runner import (
     run_paired_config,
     run_scenario,
 )
+from repro.faults import PRESETS as FAULT_PRESETS
+from repro.faults import FaultPlan, FaultSpec
 from repro.metrics.accounting import RunStats
 from repro.metrics.analytic import expected_expiration_waste, expected_overflow_waste
 from repro.metrics.cost import TariffModel, price_run
@@ -74,6 +77,10 @@ __all__ = [
     "DeliverySchedule",
     "DeviceGroup",
     "DiurnalProfile",
+    "ExportError",
+    "FAULT_PRESETS",
+    "FaultPlan",
+    "FaultSpec",
     "LastHopLink",
     "LastHopProxy",
     "NetworkStatus",
@@ -87,6 +94,7 @@ __all__ = [
     "QuietHours",
     "RandomSource",
     "ReplicatedProxy",
+    "ReproError",
     "ReplicationSpec",
     "RunResult",
     "RunStats",

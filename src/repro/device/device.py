@@ -17,6 +17,7 @@ from repro.device.battery import Battery
 from repro.device.link import LastHopLink
 from repro.device.storage import StoragePolicy
 from repro.errors import BatteryExhaustedError, ConfigurationError, DeviceError
+from repro.faults import FaultPlan
 from repro.metrics.accounting import RunStats
 from repro.proxy.queues import RankedQueue
 from repro.sim.engine import EventHandle, Simulator
@@ -49,6 +50,7 @@ class ClientDevice:
         battery: Optional[Battery] = None,
         storage: StoragePolicy = StoragePolicy(),
         report_on_reconnect: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         storage.validate()
         self._sim = sim
@@ -56,6 +58,9 @@ class ClientDevice:
         self._stats = stats if stats is not None else RunStats()
         self._battery = battery
         self._storage = storage
+        #: Per-run fault realization; used only to corrupt the offline
+        #: read-report log (stale/duplicated entries). None = no faults.
+        self._faults = faults
         self._queues: Dict[TopicId, RankedQueue] = {}
         self._thresholds: Dict[TopicId, float] = {}
         self._topic_of: Dict[EventId, TopicId] = {}
@@ -153,13 +158,20 @@ class ClientDevice:
             return
         queue = self._queue(notification.topic)
         known_topic = self._topic_of.get(notification.event_id)
-        if known_topic is not None and known_topic != notification.topic:
-            # Event ids are allocated globally by the routing substrate;
-            # a cross-topic collision indicates a wiring bug upstream.
-            raise DeviceError(
-                f"event {notification.event_id} already tracked under topic "
-                f"{known_topic!r}, cannot also arrive on {notification.topic!r}"
-            )
+        if known_topic is not None:
+            if known_topic != notification.topic:
+                # Event ids are allocated globally by the routing substrate;
+                # a cross-topic collision indicates a wiring bug upstream.
+                raise DeviceError(
+                    f"event {notification.event_id} already tracked under topic "
+                    f"{known_topic!r}, cannot also arrive on {notification.topic!r}"
+                )
+            # Duplicate delivery (a retry raced its ack, a fault-plan
+            # duplicate, or a replication failover re-shipped): the copy
+            # is discarded here, making deliveries idempotent at the
+            # device while the first copy is still unread.
+            self._stats.duplicates_deduped += 1
+            return
         if self._battery is not None:
             try:
                 self._battery.drain_receive(notification.size_bytes)
@@ -219,6 +231,11 @@ class ClientDevice:
             self._proxy.on_queue_report(topic, len(queue))
             backlog = self._offline_reads.pop(topic, None)
             if backlog:
+                if self._faults is not None:
+                    backlog, injected = self._faults.corrupt_read_report(
+                        topic, backlog
+                    )
+                    self._stats.report_entries_corrupted += injected
                 self._proxy.on_read_report(topic, backlog)
 
     # ------------------------------------------------------------------

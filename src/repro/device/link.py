@@ -5,16 +5,30 @@ down according to the outage schedule, carries proxy-to-device
 deliveries and retractions, and meters every transfer. "We view periods
 of unacceptably slow network performance as outages" — so the model has
 only two states, UP and DOWN.
+
+With a :class:`~repro.faults.FaultPlan` attached the link additionally
+models a *lossy* last hop behind a reliable-delivery protocol: each
+delivery is an acknowledged transfer attempt that the plan may drop,
+duplicate, or jitter; lost attempts are retried with capped exponential
+backoff, retries that fire during an outage are parked until the link
+returns, and transfers that exhaust the retry budget are abandoned.
+Without a plan (the default) every fault-aware path reduces to the
+exact single-attempt behaviour — byte-identical runs.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.broker.message import Notification
 from repro.errors import ConfigurationError, ProxyError
+from repro.faults import FaultPlan
 from repro.metrics.accounting import RunStats
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids an
+    # import cycle: obs.__init__ -> obs.audit -> proxy -> ... -> link)
+    from repro.obs.recorder import TraceRecorder
 from repro.types import DeliveryMode, EventId, NetworkStatus
 
 #: Size of a rank-drop retraction control message (an id plus headers).
@@ -32,6 +46,8 @@ class LastHopLink:
         sim: Simulator,
         stats: Optional[RunStats] = None,
         latency: float = 0.0,
+        faults: Optional[FaultPlan] = None,
+        recorder: Optional["TraceRecorder"] = None,
     ) -> None:
         if latency < 0:
             raise ConfigurationError(f"latency must be non-negative, got {latency}")
@@ -41,6 +57,13 @@ class LastHopLink:
         self._status = NetworkStatus.UP
         self._device = None
         self._listeners: List[StatusListener] = []
+        #: Per-run fault realization; None = the reliable, single-attempt
+        #: transport (the guaranteed-identity fast path).
+        self._faults = faults
+        self._recorder = recorder
+        #: Retry attempts that fired while the link was down, resumed in
+        #: arrival order when the link comes back up.
+        self._parked: List[Tuple[Notification, DeliveryMode, int]] = []
         self.deliveries = 0
         self.retractions = 0
         self.bytes_carried = 0
@@ -49,7 +72,19 @@ class LastHopLink:
     # Wiring
     # ------------------------------------------------------------------
     def attach_device(self, device) -> None:
-        """Connect the mobile device this link serves."""
+        """Connect the mobile device this link serves.
+
+        A link carries exactly one device: attaching a second one would
+        silently reroute deliveries scheduled for the first (latency
+        deliveries capture the device at send time, immediate ones at
+        receive time — a split-brain bug). Re-attaching the same device
+        is an idempotent no-op.
+        """
+        if self._device is not None and device is not self._device:
+            raise ConfigurationError(
+                "a device is already attached to this link; "
+                "one LastHopLink serves exactly one device"
+            )
         self._device = device
 
     def add_status_listener(self, listener: StatusListener) -> None:
@@ -73,6 +108,12 @@ class LastHopLink:
         if status is self._status:
             return
         self._status = status
+        if status is NetworkStatus.UP and self._parked:
+            # Resume parked retries before the listeners run, so their
+            # zero-delay events precede anything a listener schedules.
+            parked, self._parked = self._parked, []
+            for notification, mode, attempt in parked:
+                self._sim.schedule(0.0, self._attempt, notification, mode, attempt)
         for listener in self._listeners:
             listener(status)
 
@@ -87,15 +128,78 @@ class LastHopLink:
         is a bug worth failing loudly on.
         """
         self._require_up("deliver")
-        self.deliveries += 1
+        if self._faults is None:
+            self.deliveries += 1
+            self.bytes_carried += notification.size_bytes
+            if self._latency > 0:
+                self._sim.schedule(self._latency, self._device.receive, notification, mode)
+            else:
+                self._device.receive(notification, mode)
+            return
+        self._attempt(notification, mode, 1)
+
+    def _attempt(
+        self, notification: Notification, mode: DeliveryMode, attempt: int
+    ) -> None:
+        """One acknowledged transfer attempt under the fault plan.
+
+        In-simulation the proxy learns synchronously whether the attempt
+        was lost (modelling the ack timeout having fired); a lost
+        attempt is retried after a capped exponential backoff, a retry
+        landing during an outage parks until reconnection, and the
+        transfer is abandoned once the retry budget is spent.
+        """
+        if self._device is None:
+            raise ProxyError("cannot deliver: no device attached to the link")
+        if not self.up:
+            self._parked.append((notification, mode, attempt))
+            return
+        plan = self._faults
+        # Every attempt — lost or not — consumes last-hop bytes.
         self.bytes_carried += notification.size_bytes
-        if self._latency > 0:
-            self._sim.schedule(self._latency, self._device.receive, notification, mode)
+        if plan.drop_delivery(notification.event_id, attempt):
+            self._stats.delivery_drops += 1
+            if self._recorder is not None:
+                self._recorder.delivery_drop(
+                    self._sim.now, notification.topic, notification.event_id,
+                    attempt,
+                )
+            if attempt > plan.spec.max_retries:
+                self._stats.delivery_failures += 1
+                return
+            self._stats.delivery_retries += 1
+            self._sim.schedule(
+                plan.retry_backoff(attempt), self._attempt,
+                notification, mode, attempt + 1,
+            )
+            return
+        self.deliveries += 1
+        delay = self._latency + plan.delivery_jitter(notification.event_id, attempt)
+        if delay > 0:
+            self._sim.schedule(delay, self._device.receive, notification, mode)
         else:
             self._device.receive(notification, mode)
+        if plan.duplicate_delivery(notification.event_id):
+            self.deliveries += 1
+            self.bytes_carried += notification.size_bytes
+            self._stats.duplicates_delivered += 1
+            if self._recorder is not None:
+                self._recorder.duplicate_delivery(
+                    self._sim.now, notification.topic, notification.event_id
+                )
+            if delay > 0:
+                self._sim.schedule(delay, self._device.receive, notification, mode)
+            else:
+                self._device.receive(notification, mode)
 
     def retract(self, event_id: EventId) -> None:
-        """Carry a rank-drop retraction to the device."""
+        """Carry a rank-drop retraction to the device.
+
+        Retractions are tiny control messages; the fault plan leaves
+        them reliable (the device-side retract is idempotent anyway, so
+        a lost retraction would only convert to later waste, not an
+        inconsistency).
+        """
         self._require_up("retract")
         self.retractions += 1
         self.bytes_carried += RETRACTION_SIZE_BYTES

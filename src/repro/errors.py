@@ -44,6 +44,10 @@ class BatteryExhaustedError(DeviceError):
     """The device battery budget has been spent; the device is inoperable."""
 
 
+class ExportError(ReproError):
+    """An export target (tables, trace JSONL) could not be written."""
+
+
 class ProxyError(ReproError):
     """The last-hop proxy was driven into an invalid state."""
 

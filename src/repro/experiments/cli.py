@@ -24,7 +24,8 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro import obs
+from repro import faults, obs
+from repro.errors import ConfigurationError, ExportError
 from repro.experiments import validate as validate_module
 from repro.sim import trace_cache
 from repro.experiments.ascii_plot import MARKERS, plot_table_columns
@@ -219,6 +220,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject deterministic last-hop faults: a preset name "
+            f"({', '.join(sorted(faults.PRESETS))}) or a JSON object of "
+            "FaultSpec fields (e.g. '{\"loss_rate\": 0.1}'); 'none' and "
+            "an omitted flag are byte-identical"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines on stderr"
     )
     parser.add_argument(
@@ -229,6 +242,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     trace_cache.configure(args.trace_cache)
+
+    fault_spec = None
+    if args.faults is not None:
+        try:
+            fault_spec = faults.FaultSpec.parse(args.faults)
+        except ConfigurationError as error:
+            parser.error(f"--faults: {error}")
+    faults.configure(fault_spec)
 
     if args.audit is not None and args.audit < 1:
         parser.error("--audit interval must be >= 1")
@@ -266,10 +287,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.figure == "validate":
         output = run_validation(args.days, args.quiet)
         failures = output.count("[FAIL]")
-        epilogue = _obs_epilogue(args, fmt="text")
-        if epilogue:
-            output = output + "\n\n" + epilogue
-        _emit(output, args.output)
+        try:
+            epilogue = _obs_epilogue(args, fmt="text")
+            if epilogue:
+                output = output + "\n\n" + epilogue
+            _emit(output, args.output)
+        except ExportError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         return 1 if failures else 0
 
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
@@ -284,12 +309,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         # trailing trace records to the message; the ring buffer still
         # holds them, so export it for post-mortem before bailing.
         print(f"invariant audit failed:\n{error}", file=sys.stderr)
-        _obs_epilogue(args, fmt=args.format)
+        try:
+            _obs_epilogue(args, fmt=args.format)
+        except ExportError as export_error:  # post-mortem export best-effort
+            print(f"error: {export_error}", file=sys.stderr)
         return 2
-    epilogue = _obs_epilogue(args, fmt=args.format)
-    if epilogue:
-        chunks.append(epilogue)
-    _emit("\n\n".join(chunks), args.output)
+    try:
+        epilogue = _obs_epilogue(args, fmt=args.format)
+        if epilogue:
+            chunks.append(epilogue)
+        _emit("\n\n".join(chunks), args.output)
+    except ExportError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -315,8 +347,11 @@ def _obs_epilogue(args, fmt: str) -> Optional[str]:
 def _emit(text: str, output: Optional[Path]) -> None:
     if output is None:
         print(text)
-    else:
+        return
+    try:
         output.write_text(text + "\n", encoding="utf-8")
+    except OSError as exc:
+        raise ExportError(f"cannot write output to {output}: {exc}") from exc
 
 
 if __name__ == "__main__":  # pragma: no cover

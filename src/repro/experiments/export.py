@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 from typing import List, Sequence, Union
 
+from repro.errors import ExportError
 from repro.experiments.report import Table
 
 
@@ -83,8 +84,17 @@ def write_export(
     path: Union[str, Path],
     fmt: str = "csv",
 ) -> None:
-    """Export tables straight to a file."""
-    Path(path).write_text(export_tables(tables, fmt), encoding="utf-8")
+    """Export tables straight to a file.
+
+    Raises :class:`~repro.errors.ExportError` when the target cannot be
+    written (missing directory, permissions, read-only mount) — the
+    output path is user input, not an internal bug.
+    """
+    rendered = export_tables(tables, fmt)
+    try:
+        Path(path).write_text(rendered, encoding="utf-8")
+    except OSError as exc:
+        raise ExportError(f"cannot write export to {path}: {exc}") from exc
 
 
 def load_json_tables(path: Union[str, Path]) -> List[Table]:

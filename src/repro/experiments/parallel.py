@@ -54,7 +54,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro import obs
+from repro import faults, obs
 from repro.experiments.runner import run_baseline, run_paired, run_scenario
 from repro.metrics.waste_loss import pair_metrics
 from repro.proxy.policies import PolicyConfig
@@ -93,6 +93,7 @@ def resolve_chunksize(chunksize: Optional[int], tasks: int, workers: int) -> int
 def _worker_init(
     trace_cache_dir: Optional[str],
     obs_config: Optional["obs.ObsConfig"] = None,
+    fault_spec: Optional["faults.FaultSpec"] = None,
 ) -> None:
     """Process-pool initializer: inherit the parent's process-wide setup.
 
@@ -103,10 +104,13 @@ def _worker_init(
     for the same reason: an ``--audit`` run must audit inside every
     worker, not just the parent (each worker gets its own ring buffer
     and transition counter; an invariant violation raised in a worker
-    propagates through the future exactly like any other error).
+    propagates through the future exactly like any other error). The
+    fault spec (``--faults``) likewise: a lossy sweep must inject the
+    same faults whether a cell runs inline or in a worker.
     """
     trace_cache.configure(trace_cache_dir)
     obs.configure(obs_config)
+    faults.configure(fault_spec)
 
 
 def _run_chunk(fn: Callable[..., Any], chunk: Sequence[Tuple[Any, ...]]) -> List[Any]:
@@ -155,6 +159,7 @@ def parallel_map(
         initargs=(
             None if cache_dir is None else str(cache_dir),
             obs.active_config(),
+            faults.active_spec(),
         ),
     ) as pool:
         futures = [pool.submit(_run_chunk, fn, part) for part in chunks]

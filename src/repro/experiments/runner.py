@@ -25,11 +25,14 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro import faults as faults_mod
 from repro.broker.message import Notification
 from repro.device.battery import Battery
 from repro.device.device import ClientDevice
 from repro.device.link import LastHopLink
 from repro.device.storage import StoragePolicy
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, FaultSpec
 from repro.metrics.accounting import RunStats
 from repro.metrics.waste_loss import PairedMetrics, pair_metrics
 from repro.proxy.gc import GcConfig, ProxyGarbageCollector
@@ -91,6 +94,7 @@ def run_scenario(
     gc_interval: Optional[float] = None,
     replication: Optional[ReplicationSpec] = None,
     schedule: Optional[DeliverySchedule] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> RunResult:
     """Replay ``trace`` under ``policy`` and return the run's statistics.
 
@@ -107,11 +111,28 @@ def run_scenario(
     the proxy records delivery-path trace records into the shared ring
     buffer and samples the invariant audit; observability never changes
     the simulated outcome, only raises on a violated invariant.
+
+    ``faults`` injects last-hop loss/duplication/jitter, proxy crashes,
+    and read-report corruption per :mod:`repro.faults`; None falls back
+    to the process-wide spec (:func:`repro.faults.configure` — the
+    CLI's ``--faults``). A null spec realizes to no plan at all, so the
+    fault-free path is byte-identical to a run without the parameter.
     """
     policy.validate()
     obs_ctx = obs.active()
     probes = obs.PROBES
     probes.count("runs")
+    fault_spec = faults if faults is not None else faults_mod.active_spec()
+    plan = FaultPlan.build(
+        fault_spec,
+        seed=int(trace.metadata.get("seed", 0) or 0),
+        duration=trace.duration,
+    )
+    if plan is not None and plan.crash_times and replication is not None:
+        raise ConfigurationError(
+            "proxy crash injection (crashes_per_day > 0) cannot be combined "
+            "with replication; the replicated pair models its own failover"
+        )
     sim = Simulator()
     stats = RunStats()
 
@@ -120,8 +141,16 @@ def run_scenario(
     if battery is not None:
         battery = dataclasses.replace(battery)
 
-    link = LastHopLink(sim, stats, latency=link_latency)
-    device = ClientDevice(sim, link, stats, battery=battery, storage=storage)
+    link = LastHopLink(
+        sim,
+        stats,
+        latency=link_latency,
+        faults=plan,
+        recorder=None if obs_ctx is None else obs_ctx.recorder,
+    )
+    device = ClientDevice(
+        sim, link, stats, battery=battery, storage=storage, faults=plan
+    )
     device.add_topic(topic, threshold)
     if replication is None:
         proxy = LastHopProxy(
@@ -147,6 +176,11 @@ def run_scenario(
     link.add_status_listener(proxy.on_network)
     if replication is not None and replication.fail_primary_at is not None:
         sim.schedule_at(replication.fail_primary_at, proxy.fail_primary)
+    if plan is not None:
+        for crash_time in plan.crash_times:
+            sim.schedule_at(
+                crash_time, proxy.crash_restart, plan.spec.restart_delay
+            )
     collector = None
     if gc_interval is not None:
         collector = ProxyGarbageCollector(sim, proxy, GcConfig(interval=gc_interval))
@@ -250,10 +284,13 @@ def run_baseline(trace: Trace, threshold: float = 0.0, **kwargs) -> RunResult:
 
     Keyed by trace identity (the per-process trace LRU hands out one
     object per ``(config, seed)``, so identity is exactly trace
-    equality there), the threshold, and the run kwargs. Unhashable
-    kwargs (e.g. a mutable :class:`Battery`) bypass the cache. The
-    returned :class:`RunResult` may be shared between callers and must
-    be treated as read-only — the paired metrics computation only ever
+    equality there), the threshold, the *effective* fault spec (an
+    explicit ``faults`` kwarg, else the process-wide one — which is not
+    part of the kwargs and would otherwise alias entries across
+    ``--faults`` settings), and the run kwargs. Unhashable kwargs (e.g.
+    a mutable :class:`Battery`) bypass the cache. The returned
+    :class:`RunResult` may be shared between callers and must be
+    treated as read-only — the paired metrics computation only ever
     reads it.
     """
     probes = obs.PROBES
@@ -262,7 +299,12 @@ def run_baseline(trace: Trace, threshold: float = 0.0, **kwargs) -> RunResult:
             return run_scenario(
                 trace, PolicyConfig.online(), threshold=threshold, **kwargs
             )
-    key = (id(trace), float(threshold), tuple(sorted(kwargs.items())))
+    fault_spec = kwargs.get("faults")
+    if fault_spec is None:
+        fault_spec = faults_mod.active_spec()
+    elif fault_spec.is_null:
+        fault_spec = None  # normalize: null spec == no faults
+    key = (id(trace), float(threshold), fault_spec, tuple(sorted(kwargs.items())))
     try:
         entry = _BASELINE_CACHE.get(key)
     except TypeError:  # unhashable kwarg value — run uncached

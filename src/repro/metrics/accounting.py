@@ -72,6 +72,26 @@ class RunStats:
     battery_spent: float = 0.0
     outcome: RunOutcome = RunOutcome.COMPLETED
 
+    # Fault injection (all zero unless a FaultPlan is active) -------------
+    #: Last-hop delivery attempts lost by the fault plan.
+    delivery_drops: int = 0
+    #: Retry attempts scheduled by the ack–retry protocol.
+    delivery_retries: int = 0
+    #: Transfers abandoned after the retry budget was exhausted.
+    delivery_failures: int = 0
+    #: Extra copies the fault plan delivered to the device.
+    duplicates_delivered: int = 0
+    #: Duplicate copies the device recognized and discarded.
+    duplicates_deduped: int = 0
+    #: Proxy crash events injected.
+    proxy_crashes: int = 0
+    #: Total seconds the proxy spent down across all crashes.
+    crash_downtime: float = 0.0
+    #: Notifications that arrived while the proxy was down (lost).
+    lost_in_crash: int = 0
+    #: Offline-read log entries duplicated by the fault plan.
+    report_entries_corrupted: int = 0
+
     # ------------------------------------------------------------------
     # Recording helpers (called by proxy / link / device)
     # ------------------------------------------------------------------
@@ -127,4 +147,25 @@ class RunStats:
             f"retractions sent    {self.retractions_sent}",
             f"bytes sent          {self.bytes_sent}",
         ]
+        # Fault lines appear only when faults were injected, so the
+        # fault-free summary stays byte-identical to the pre-fault one.
+        if (
+            self.delivery_drops
+            or self.delivery_retries
+            or self.delivery_failures
+            or self.duplicates_delivered
+            or self.proxy_crashes
+            or self.lost_in_crash
+            or self.report_entries_corrupted
+        ):
+            lines += [
+                f"delivery drops      {self.delivery_drops} "
+                f"({self.delivery_retries} retries, "
+                f"{self.delivery_failures} abandoned)",
+                f"duplicates          {self.duplicates_delivered} delivered, "
+                f"{self.duplicates_deduped} deduplicated",
+                f"proxy crashes       {self.proxy_crashes} "
+                f"({self.crash_downtime:.0f} s down, "
+                f"{self.lost_in_crash} arrivals lost)",
+            ]
         return "\n".join(lines)

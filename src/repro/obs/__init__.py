@@ -31,6 +31,9 @@ from repro.obs.probes import PROBES, PhaseProbes, PhaseSummary, summary_rows
 from repro.obs.recorder import DEFAULT_CAPACITY, TraceRecorder, load_jsonl
 from repro.obs.records import (
     BudgetExhaustRecord,
+    CrashRecord,
+    DeliveryDropRecord,
+    DuplicateDeliveryRecord,
     ExpireAtProxyRecord,
     ForwardRecord,
     ObsRecord,
@@ -38,6 +41,7 @@ from repro.obs.records import (
     RankChangeRecord,
     ReadExchangeRecord,
     RECORD_TYPES,
+    RecoverRecord,
     RetractRecord,
     as_dict,
 )
@@ -46,8 +50,11 @@ from repro.proxy.invariants import InvariantViolation
 __all__ = [
     "Auditor",
     "BudgetExhaustRecord",
+    "CrashRecord",
     "DEFAULT_CAPACITY",
     "DEFAULT_CONTEXT",
+    "DeliveryDropRecord",
+    "DuplicateDeliveryRecord",
     "ExpireAtProxyRecord",
     "ForwardRecord",
     "InvariantViolation",
@@ -61,6 +68,7 @@ __all__ = [
     "RECORD_TYPES",
     "RankChangeRecord",
     "ReadExchangeRecord",
+    "RecoverRecord",
     "RetractRecord",
     "TraceRecorder",
     "active",

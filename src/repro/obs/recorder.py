@@ -19,15 +19,19 @@ from collections import deque
 from pathlib import Path
 from typing import Deque, List, Optional, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExportError
 from repro.obs.records import (
     BudgetExhaustRecord,
+    CrashRecord,
+    DeliveryDropRecord,
+    DuplicateDeliveryRecord,
     ExpireAtProxyRecord,
     ForwardRecord,
     ObsRecord,
     QuietDeferRecord,
     RankChangeRecord,
     ReadExchangeRecord,
+    RecoverRecord,
     RetractRecord,
     as_dict,
 )
@@ -112,6 +116,24 @@ class TraceRecorder:
         self.recorded += 1
         self._buffer.append(BudgetExhaustRecord(time, topic, event_id))
 
+    def delivery_drop(
+        self, time: float, topic: str, event_id: int, attempt: int
+    ) -> None:
+        self.recorded += 1
+        self._buffer.append(DeliveryDropRecord(time, topic, event_id, attempt))
+
+    def duplicate_delivery(self, time: float, topic: str, event_id: int) -> None:
+        self.recorded += 1
+        self._buffer.append(DuplicateDeliveryRecord(time, topic, event_id))
+
+    def crash(self, time: float) -> None:
+        self.recorded += 1
+        self._buffer.append(CrashRecord(time))
+
+    def recover(self, time: float, downtime: float, requeued: int) -> None:
+        self.recorded += 1
+        self._buffer.append(RecoverRecord(time, downtime, requeued))
+
     # ------------------------------------------------------------------
     # Inspection / export
     # ------------------------------------------------------------------
@@ -133,12 +155,22 @@ class TraceRecorder:
         self.recorded = 0
 
     def export_jsonl(self, path: Union[str, Path]) -> int:
-        """Write the current window as JSON-lines; returns lines written."""
+        """Write the current window as JSON-lines; returns lines written.
+
+        Raises :class:`~repro.errors.ExportError` when the target cannot
+        be written (missing directory, permissions, read-only mount) —
+        the ``--trace-out`` path is user input, not an internal bug.
+        """
         records = self.records()
-        with Path(path).open("w", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(json.dumps(as_dict(record), sort_keys=True))
-                handle.write("\n")
+        try:
+            with Path(path).open("w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(as_dict(record), sort_keys=True))
+                    handle.write("\n")
+        except OSError as exc:
+            raise ExportError(
+                f"cannot write trace export to {path}: {exc}"
+            ) from exc
         return len(records)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -149,9 +181,24 @@ class TraceRecorder:
 
 
 def load_jsonl(path: Union[str, Path]) -> List[dict]:
-    """Read a ``--trace-out`` export back as a list of plain dicts."""
+    """Read a ``--trace-out`` export back as a list of plain dicts.
+
+    A truncated or otherwise corrupt line raises
+    :class:`~repro.errors.ConfigurationError` naming the offending line,
+    never a bare traceback from the JSON layer.
+    """
     lines = Path(path).read_text(encoding="utf-8").splitlines()
-    return [json.loads(line) for line in lines if line.strip()]
+    records: List[dict] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path}:{number}: truncated or corrupt trace record: {exc}"
+            ) from exc
+    return records
 
 
 #: Optional recorder slot, the type the proxy holds.

@@ -112,6 +112,45 @@ class BudgetExhaustRecord:
     event_id: int
 
 
+@dataclass(frozen=True, **DATACLASS_SLOTS)
+class DeliveryDropRecord:
+    """A last-hop delivery attempt lost by the fault plan."""
+
+    kind: ClassVar[str] = "delivery-drop"
+    time: float
+    topic: str
+    event_id: int
+    attempt: int  #: 1 = the initial transfer, 2+ = retries
+
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
+class DuplicateDeliveryRecord:
+    """A successfully delivered notification shipped a second time."""
+
+    kind: ClassVar[str] = "duplicate-delivery"
+    time: float
+    topic: str
+    event_id: int
+
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
+class CrashRecord:
+    """The proxy process crashed: timers and in-flight state torn down."""
+
+    kind: ClassVar[str] = "crash"
+    time: float
+
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
+class RecoverRecord:
+    """The proxy restarted and rebuilt its state from retained history."""
+
+    kind: ClassVar[str] = "recover"
+    time: float
+    downtime: float  #: seconds the proxy was down
+    requeued: int  #: history events re-enqueued during recovery
+
+
 #: Everything the recorder can hold.
 ObsRecord = Union[
     ForwardRecord,
@@ -121,6 +160,10 @@ ObsRecord = Union[
     ReadExchangeRecord,
     QuietDeferRecord,
     BudgetExhaustRecord,
+    DeliveryDropRecord,
+    DuplicateDeliveryRecord,
+    CrashRecord,
+    RecoverRecord,
 ]
 
 #: All record types, for schema introspection and tests.
@@ -132,6 +175,10 @@ RECORD_TYPES: Tuple[type, ...] = (
     ReadExchangeRecord,
     QuietDeferRecord,
     BudgetExhaustRecord,
+    DeliveryDropRecord,
+    DuplicateDeliveryRecord,
+    CrashRecord,
+    RecoverRecord,
 )
 
 

@@ -106,6 +106,12 @@ class LastHopProxy:
         #: Events whose retraction has been sent (or queued), per run.
         self._retracted: Set[EventId] = set()
         self._in_read = False
+        #: Crash/restart bookkeeping (fault injection). While crashed
+        #: the proxy drops arrivals, serves empty reads, and arms no
+        #: timers; :meth:`restart` rebuilds volatile state from the
+        #: durable history/forwarded sets.
+        self._crashed = False
+        self._crashed_at = 0.0
 
     # ------------------------------------------------------------------
     # Setup
@@ -176,6 +182,11 @@ class LastHopProxy:
     # ------------------------------------------------------------------
     def on_notification(self, notification: Notification) -> None:
         """Handle a new outside event or a rank-change announcement."""
+        if self._crashed:
+            # The proxy process is down; the wide-area substrate has no
+            # last-hop persistence, so the announcement is simply lost.
+            self._stats.lost_in_crash += 1
+            return
         state = self.topic_state(notification.topic)
         existing = state.history.get(notification.event_id)
         if existing is not None:
@@ -311,6 +322,10 @@ class LastHopProxy:
         queues on the server, making any transfer unnecessary".
         """
         state = self.topic_state(topic)
+        if self._crashed:
+            # The device's READ request times out against a dead proxy;
+            # it falls back to its local queue, exactly like an outage.
+            return ReadResponse(sent=(), candidates=0)
         if state.network is not NetworkStatus.UP:
             raise ProxyError("READ reached the proxy while the link is down")
         if n < 0:
@@ -389,6 +404,8 @@ class LastHopProxy:
         """
         if queue_size < 0:
             raise ProxyError(f"queue report with negative size: {queue_size}")
+        if self._crashed:
+            return
         self.topic_state(topic).queue_size = queue_size
 
     def on_read_report(
@@ -415,6 +432,8 @@ class LastHopProxy:
         for _time, n in reads:
             if n < 0:
                 raise ProxyError(f"read report with negative N: {n}")
+        if self._crashed:
+            return
         for time, n in sorted(reads, key=lambda entry: entry[0]):
             state.old_reads.push(float(n))
             last = state.old_times.last
@@ -432,6 +451,10 @@ class LastHopProxy:
         """Handle a last-hop link transition."""
         for state in self._states.values():
             state.network = status
+        if self._crashed:
+            # Track the status (restart must see the current link state)
+            # but do nothing with it while the process is down.
+            return
         if status is NetworkStatus.UP:
             for state in self._states.values():
                 self.try_forwarding(state)
@@ -444,7 +467,7 @@ class LastHopProxy:
     # ------------------------------------------------------------------
     def try_forwarding(self, state: TopicState) -> None:
         """Flush the outgoing queue, then prefetch into spare client room."""
-        if state.network is not NetworkStatus.UP:
+        if self._crashed or state.network is not NetworkStatus.UP:
             return
         now = self._sim.now
 
@@ -612,6 +635,136 @@ class LastHopProxy:
         state.cancel_timers(event_id)
 
     # ------------------------------------------------------------------
+    # Crash / restart (fault injection)
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """True while the proxy process is down (between crash and restart)."""
+        return self._crashed
+
+    def crash(self, restart_delay: float = 0.0) -> None:
+        """Simulate a proxy process crash.
+
+        All timers (expirations, delay stage, quiet wake-ups) and
+        in-flight volatile state (pending retractions) are torn down;
+        only the durable event history and forwarded set survive —
+        exactly the data :meth:`collect_garbage` is contracted to
+        retain. With ``restart_delay`` > 0 the proxy stays down for that
+        long (arrivals are lost, reads come back empty) before
+        :meth:`restart` rebuilds it; with 0 it restarts immediately.
+        """
+        if self._crashed:
+            raise ProxyError("proxy crashed while already down")
+        if restart_delay < 0:
+            raise ConfigurationError(
+                f"restart_delay must be non-negative, got {restart_delay}"
+            )
+        self._crashed = True
+        self._crashed_at = self._sim.now
+        self._stats.proxy_crashes += 1
+        for state in self._states.values():
+            for handle in state.expiration_handles.values():
+                handle.cancel()
+            state.expiration_handles.clear()
+            for handle in state.delay_handles.values():
+                handle.cancel()
+            state.delay_handles.clear()
+            if state.quiet_wakeup is not None:
+                state.quiet_wakeup.cancel()
+                state.quiet_wakeup = None
+            state.pending_retractions.clear()
+        if self._recorder is not None:
+            self._recorder.crash(self._sim.now)
+        if restart_delay > 0:
+            self._sim.schedule(restart_delay, self.restart)
+        else:
+            self.restart()
+
+    def crash_restart(self, restart_delay: float = 0.0) -> None:
+        """Crash now unless already down (the fault plan's crash hook;
+        a crash event landing inside a pending restart window is
+        absorbed by the outage already in progress)."""
+        if self._crashed:
+            return
+        self.crash(restart_delay)
+
+    def restart(self) -> None:
+        """Rebuild the proxy's volatile state after a crash.
+
+        Each topic gets a fresh :class:`~repro.proxy.state.TopicState`
+        seeded from the retained history and forwarded set: every
+        retained event that is unforwarded, unexpired, and still above
+        the rank threshold is re-classified exactly like a new arrival
+        (minus the rank-instability delay stage, whose tracker died with
+        the process) and its expiration timer re-armed. Moving averages,
+        the client queue-size estimate, the push budget, and the
+        retraction dedup set restart cold — the device's reconnection
+        reports and subsequent READs re-teach them.
+        """
+        if not self._crashed:
+            raise ProxyError("restart called on a proxy that is not down")
+        now = self._sim.now
+        policy = self._config.policy
+        requeued = 0
+        for topic, old in list(self._states.items()):
+            state = TopicState(
+                topic=topic,
+                topic_type=old.topic_type,
+                rank_threshold=old.rank_threshold,
+                ma_window=policy.ma_window,
+                schedule=old.schedule,
+            )
+            state.expiration_threshold = (
+                policy.initial_expiration_threshold
+                if policy.expiration_threshold is None
+                else policy.expiration_threshold
+            )
+            state.delay = 0.0 if policy.delay is None else policy.delay
+            # Durable storage survives the crash: history + forwarded.
+            state.history = old.history
+            state.forwarded = old.forwarded
+            state.network = old.network
+            self._states[topic] = state
+            self._delay_trackers[topic] = DelayTracker()
+            online = (
+                state.topic_type is TopicType.ONLINE
+                or policy.kind is PolicyKind.ONLINE
+            )
+            # History is an insertion-ordered dict (acceptance order),
+            # so recovery re-enqueues deterministically.
+            for event in old.history.values():
+                if event.event_id in state.forwarded:
+                    continue
+                if event.rank < state.rank_threshold:
+                    continue
+                if event.is_expired(now):
+                    continue
+                requeued += 1
+                lifetime = event.remaining_lifetime(now)
+                if lifetime is not None:
+                    self._schedule_expiration(state, event)
+                if online or (
+                    state.schedule is not None
+                    and state.schedule.is_urgent(event.rank)
+                ):
+                    state.outgoing.add(event)
+                elif lifetime is not None and lifetime < state.expiration_threshold:
+                    state.holding.add(event)
+                else:
+                    state.prefetch.add(event)
+            state.prefetch_limit = self._buffer.effective_limit(state)
+        self._retracted = set()
+        self._crashed = False
+        downtime = now - self._crashed_at
+        self._stats.crash_downtime += downtime
+        if self._recorder is not None:
+            self._recorder.recover(now, downtime, requeued)
+        for state in self._states.values():
+            self.try_forwarding(state)
+            if self._auditor is not None:
+                self._auditor.maybe_audit(self._sim, state)
+
+    # ------------------------------------------------------------------
     # Garbage collection (the paper notes it omitted this)
     # ------------------------------------------------------------------
     def collect_garbage(self, history_horizon: Optional[float] = None) -> int:
@@ -621,6 +774,10 @@ class LastHopProxy:
         ``history_horizon`` prunes history entries older than the given
         number of seconds that are no longer queued anywhere.
         """
+        if self._crashed:
+            # History and the forwarded set are exactly what restart
+            # rebuilds from; never prune them while the process is down.
+            return 0
         reclaimed = 0
         now = self._sim.now
         retracted = self._retracted

@@ -55,26 +55,40 @@ def _canonical_default(value: object) -> object:
     )
 
 
-def trace_key(config: object, seed: int) -> str:
+def trace_key(config: object, seed: int, faults: object = None) -> str:
     """Stable content key for a ``(config, seed)`` pair.
 
     ``config`` may be any (possibly nested) dataclass or any
     JSON-serializable value (enum and Path fields included); two
     structurally equal configurations produce the same key on any
     machine and any process.
+
+    ``faults`` is the active fault spec, if any. Trace *contents* do not
+    depend on it (faults are realized at run time), but keeping fault
+    runs in distinct entries means a chaos sweep never hands its cache
+    files to a clean reproduction run — provenance stays auditable from
+    the key alone. A null/absent spec adds nothing to the payload, so
+    every pre-existing cache entry keeps its key.
     """
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
         payload = dataclasses.asdict(config)
     else:
         payload = config
+    body = {
+        "key_version": KEY_VERSION,
+        "trace_format": FORMAT_VERSION,
+        "config": payload,
+        "seed": seed,
+    }
+    if faults is not None:
+        body["faults"] = (
+            dataclasses.asdict(faults)
+            if dataclasses.is_dataclass(faults) and not isinstance(faults, type)
+            else faults
+        )
     try:
         canonical = json.dumps(
-            {
-                "key_version": KEY_VERSION,
-                "trace_format": FORMAT_VERSION,
-                "config": payload,
-                "seed": seed,
-            },
+            body,
             sort_keys=True,
             separators=(",", ":"),
             default=_canonical_default,
@@ -102,14 +116,14 @@ class TraceDiskCache:
     def path_for(self, key: str) -> Path:
         return self._root / f"trace-{key}.json"
 
-    def load(self, config: object, seed: int) -> Optional[Trace]:
+    def load(self, config: object, seed: int, faults: object = None) -> Optional[Trace]:
         """Return the cached trace for ``(config, seed)``, or None.
 
         A corrupt or truncated file (e.g. a survivor of a killed worker
         on a filesystem without atomic replace) counts as a miss and is
         removed so the caller's rebuild can replace it.
         """
-        path = self.path_for(trace_key(config, seed))
+        path = self.path_for(trace_key(config, seed, faults=faults))
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
             trace = trace_from_dict(data)
@@ -126,9 +140,11 @@ class TraceDiskCache:
         self.hits += 1
         return trace
 
-    def store(self, config: object, seed: int, trace: Trace) -> Path:
+    def store(
+        self, config: object, seed: int, trace: Trace, faults: object = None
+    ) -> Path:
         """Persist a built trace atomically; returns its path."""
-        path = self.path_for(trace_key(config, seed))
+        path = self.path_for(trace_key(config, seed, faults=faults))
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(trace_to_dict(trace)), encoding="utf-8")
         os.replace(tmp, path)

@@ -52,6 +52,12 @@ def trace_to_dict(trace: Trace) -> dict:
 
 def trace_from_dict(data: dict) -> Trace:
     """Rebuild a trace from :func:`trace_to_dict` output (validated)."""
+    if not isinstance(data, dict):
+        # Valid JSON that is not a trace document (a list, a string, …)
+        # must be a typed error, not an AttributeError from .get below.
+        raise ConfigurationError(
+            f"trace document must be a JSON object, got {type(data).__name__}"
+        )
     version = data.get("format")
     if version != FORMAT_VERSION:
         raise ConfigurationError(

@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro import faults as faults_mod
 from repro.errors import ConfigurationError
 from repro.sim import trace_cache
 from repro.sim.rng import RandomSource
@@ -136,17 +137,27 @@ def build_trace_cached(config: ScenarioConfig, seed: Optional[int] = None) -> Tr
     every ``--jobs`` worker across invocations share one build.
     """
     effective_seed = config.seed if seed is None else seed
-    key = (config, effective_seed)
+    # The active fault spec rides into both cache keys: trace contents
+    # never depend on it, but fault runs keeping their own entries means
+    # a chaos sweep can never hand a clean reproduction its cache slots
+    # (and vice versa). A null spec is None here, so fault-free keys —
+    # in memory and on disk — are exactly the pre-fault ones.
+    fault_spec = faults_mod.active_spec()
+    key = (config, effective_seed, fault_spec)
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
         _TRACE_CACHE.move_to_end(key)
         return cached
     disk = trace_cache.active()
-    trace = disk.load(config, effective_seed) if disk is not None else None
+    trace = (
+        disk.load(config, effective_seed, faults=fault_spec)
+        if disk is not None
+        else None
+    )
     if trace is None:
         trace = build_trace(config, seed=seed)
         if disk is not None:
-            disk.store(config, effective_seed, trace)
+            disk.store(config, effective_seed, trace, faults=fault_spec)
     _TRACE_CACHE[key] = trace
     while len(_TRACE_CACHE) > TRACE_CACHE_SIZE:
         _TRACE_CACHE.popitem(last=False)

@@ -104,3 +104,16 @@ class TestStatus:
     def test_negative_latency_rejected(self):
         with pytest.raises(ConfigurationError):
             LastHopLink(Simulator(), latency=-0.1)
+
+
+class TestAttachment:
+    def test_attaching_second_device_raises(self, wired):
+        _sim, link, _device = wired
+        with pytest.raises(ConfigurationError, match="already attached"):
+            link.attach_device(RecordingDevice())
+
+    def test_reattaching_same_device_is_idempotent(self, wired):
+        _sim, link, device = wired
+        link.attach_device(device)  # no-op, no error
+        link.deliver(note(), DeliveryMode.PUSHED)
+        assert len(device.received) == 1

@@ -100,3 +100,71 @@ class TestObservability:
     def test_trace_capacity_requires_trace_out(self):
         with pytest.raises(SystemExit):
             cli.main(["fig1", "--days", "2", "--trace-capacity", "64"])
+
+
+class TestFaultsFlag:
+    @pytest.fixture(autouse=True)
+    def _reset_faults(self):
+        from repro import faults
+
+        yield
+        faults.configure(None)
+
+    def test_faults_none_output_matches_omitted(self, capsys):
+        assert cli.main(["fig1", "--days", "2", "--quiet"]) == 0
+        plain = capsys.readouterr().out
+        assert cli.main(["fig1", "--days", "2", "--quiet", "--faults", "none"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_faults_preset_configures_process_spec(self, capsys):
+        from repro import faults
+        from repro.faults import PRESETS
+
+        assert cli.main(["fig1", "--days", "2", "--quiet", "--faults", "lossy"]) == 0
+        capsys.readouterr()
+        assert faults.active_spec() == PRESETS["lossy"]
+
+    def test_faults_json_spec_accepted(self, capsys):
+        from repro import faults
+
+        args = ["fig1", "--days", "2", "--quiet",
+                "--faults", '{"loss_rate": 0.2}']
+        assert cli.main(args) == 0
+        capsys.readouterr()
+        assert faults.active_spec().loss_rate == 0.2
+
+    def test_unknown_preset_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            cli.main(["fig1", "--faults", "definitely-not-a-preset"])
+        assert exit_info.value.code == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_invalid_json_value_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            cli.main(["fig1", "--faults", '{"loss_rate": 7.0}'])
+        assert exit_info.value.code == 2
+
+    def test_help_lists_presets(self, capsys):
+        from repro.faults import PRESETS
+
+        with pytest.raises(SystemExit):
+            cli.main(["--help"])
+        out = capsys.readouterr().out
+        for name in PRESETS:
+            assert name in out
+
+
+class TestOutputErrors:
+    def test_unwritable_output_is_exit_code_not_traceback(self, tmp_path, capsys):
+        target = tmp_path / "missing" / "dir" / "out.txt"
+        code = cli.main(["fig1", "--days", "2", "--quiet",
+                         "--output", str(target)])
+        assert code == 2
+        assert "cannot write output" in capsys.readouterr().err
+
+    def test_unwritable_trace_out_is_exit_code_not_traceback(self, tmp_path, capsys):
+        target = tmp_path / "missing" / "dir" / "trace.jsonl"
+        code = cli.main(["fig1", "--days", "2", "--quiet",
+                         "--trace-out", str(target)])
+        assert code == 2
+        assert "cannot write trace export" in capsys.readouterr().err

@@ -103,3 +103,18 @@ class TestJsonl:
     def test_unknown_format_message_lists_jsonl(self, table):
         with pytest.raises(ValueError, match="jsonl"):
             export_tables(table, "yaml")
+
+
+class TestWriteErrors:
+    def test_missing_directory_raises_export_error(self, table, tmp_path):
+        from repro.errors import ExportError
+
+        target = tmp_path / "no" / "such" / "dir" / "out.csv"
+        with pytest.raises(ExportError, match="cannot write export"):
+            write_export(table, target)
+
+    def test_unwritable_target_raises_export_error(self, table, tmp_path):
+        from repro.errors import ExportError
+
+        with pytest.raises(ExportError):
+            write_export(table, tmp_path)  # a directory is not writable

@@ -107,3 +107,35 @@ class TestRecords:
             record.time = 2.0
         assert isinstance(record, RetractRecord)
         assert QuietDeferRecord.kind == "quiet-defer"
+
+
+class TestErrorPaths:
+    def test_export_to_missing_directory_raises_export_error(self, tmp_path):
+        from repro.errors import ExportError
+
+        recorder = TraceRecorder(capacity=4)
+        recorder.forward(1.0, "t", 1, "pushed", 0)
+        with pytest.raises(ExportError, match="cannot write trace export"):
+            recorder.export_jsonl(tmp_path / "no" / "such" / "trace.jsonl")
+
+    def test_truncated_jsonl_names_the_offending_line(self, tmp_path):
+        recorder = TraceRecorder(capacity=4)
+        recorder.forward(1.0, "t", 1, "pushed", 0)
+        recorder.forward(2.0, "t", 2, "pushed", 1)
+        path = tmp_path / "trace.jsonl"
+        recorder.export_jsonl(path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[:-10], encoding="utf-8")  # chop the tail
+        with pytest.raises(ConfigurationError, match=r":2:"):
+            load_jsonl(path)
+
+    def test_garbage_line_raises_configuration_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "forward"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="corrupt trace record"):
+            load_jsonl(path)
+
+    def test_blank_lines_are_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "forward"}\n\n\n{"kind": "retract"}\n')
+        assert len(load_jsonl(path)) == 2

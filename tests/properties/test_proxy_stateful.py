@@ -124,12 +124,68 @@ class ProxyMachine(RuleBasedStateMachine):
     def garbage_collect(self):
         self.proxy.collect_garbage(history_horizon=1000.0)
 
+    @rule(delay=st.sampled_from([0.0, 5.0, 50.0]))
+    def crash_restart(self, delay):
+        """Crash the proxy; recovery rebuilds from retained history.
+
+        ``crash_restart`` (the fault-plan hook) absorbs crashes landing
+        while a restart is already pending, so this rule is always
+        legal; a pending restart fires inside ``advance_time``.
+        """
+        self.proxy.crash_restart(delay)
+
+    @rule(data=st.data())
+    def duplicate_arrival(self, data):
+        """Redeliver an already-accepted notification verbatim."""
+        if not self.known_ids:
+            return
+        event_id = data.draw(st.sampled_from(self.known_ids))
+        original = self.proxy.topic_state(TOPIC).history.get(event_id)
+        if original is None:
+            return
+        self.proxy.on_notification(
+            Notification(
+                event_id=event_id,
+                topic=TOPIC,
+                rank=original.rank,
+                published_at=original.published_at,
+                expires_at=original.expires_at,
+            )
+        )
+
+    @rule(
+        count=st.integers(min_value=1, max_value=4),
+        shuffled=st.booleans(),
+        duplicated=st.booleans(),
+    )
+    def read_report(self, count, shuffled, duplicated):
+        """An offline-read log: possibly stale, out of order, duplicated.
+
+        Exactly what a faulty device resends after reconnection — the
+        proxy's monotone merge must tolerate all of it.
+        """
+        now = self.sim.now
+        entries = [
+            (max(0.0, now - 10.0 * (i + 1)), 1 + (i % 3)) for i in range(count)
+        ]
+        if shuffled:
+            entries.reverse()  # newest first: strictly out of order
+        if duplicated:
+            entries = entries + entries[:1]
+        self.proxy.on_read_report(TOPIC, entries)
+
     # ----------------------------------------------------------------
     @invariant()
     def structural_invariants_hold(self):
         if not hasattr(self, "proxy"):
             return
         assert_topic_state(self.proxy.topic_state(TOPIC), self.sim.now)
+
+    @invariant()
+    def engine_invariants_hold(self):
+        if not hasattr(self, "proxy"):
+            return
+        assert self.sim.audit() == []
 
     @invariant()
     def deliveries_respect_threshold_at_send_time(self):

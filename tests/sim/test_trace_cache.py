@@ -123,3 +123,59 @@ class TestFigureDeterminism:
         warm = run_figure("fig2", **kwargs)
         assert trace_cache.active().hits > 0
         assert warm == cold
+
+
+class TestCorruptEntries:
+    def test_json_list_cache_entry_counts_as_miss(self, tmp_path):
+        """A cache file holding a JSON list (not a trace object) is a
+        recoverable miss, not an AttributeError."""
+        cache = TraceDiskCache(tmp_path)
+        config = small_config()
+        path = cache.path_for(trace_key(config, 0))
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        assert cache.load(config, 0) is None
+        assert not path.exists()
+        assert cache.misses == 1
+
+    def test_truncated_entry_counts_as_miss(self, tmp_path):
+        cache = TraceDiskCache(tmp_path)
+        config = small_config()
+        built = build_trace(config, seed=3)
+        stored = cache.store(config, 3, built)
+        text = stored.read_text(encoding="utf-8")
+        stored.write_text(text[: len(text) // 2], encoding="utf-8")
+        assert cache.load(config, 3) is None
+        assert not stored.exists()
+
+
+class TestFaultKeying:
+    def test_null_faults_leave_key_unchanged(self):
+        config = small_config()
+        assert trace_key(config, 0, faults=None) == trace_key(config, 0)
+
+    def test_non_null_faults_get_distinct_keys(self):
+        from repro.faults import FaultSpec
+
+        config = small_config()
+        base = trace_key(config, 0)
+        lossy = trace_key(config, 0, faults=FaultSpec(loss_rate=0.1))
+        chaos = trace_key(config, 0, faults=FaultSpec(loss_rate=0.3))
+        assert len({base, lossy, chaos}) == 3
+
+    def test_build_trace_cached_separates_fault_entries(self, tmp_path):
+        """A chaos sweep and a clean run never share cache slots, while
+        the traces themselves stay identical (faults are run-time)."""
+        from repro import faults
+        from repro.faults import FaultSpec
+
+        trace_cache.configure(tmp_path)
+        config = small_config()
+        try:
+            clean = build_trace_cached(config, seed=0)
+            faults.configure(FaultSpec(loss_rate=0.2))
+            lossy = build_trace_cached(config, seed=0)
+        finally:
+            faults.configure(None)
+        assert clean is not lossy          # distinct LRU entries
+        assert clean == lossy              # but identical contents
+        assert len(trace_cache.active()) == 2

@@ -76,3 +76,12 @@ class TestErrors:
         path.write_text("not json at all {", encoding="utf-8")
         with pytest.raises(ConfigurationError, match="JSON"):
             load_trace(path)
+
+    def test_json_list_payload_rejected(self, tmp_path):
+        """Valid JSON that is not an object must be a typed error."""
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            trace_from_dict([1, 2, 3])
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            load_trace(path)
