@@ -96,15 +96,33 @@ def test_bench_read_path_m10k(benchmark):
     assert benchmark(read_path) == 160
 
 
+#: Shared scenario for the trace-generation benchmarks, so the
+#: vectorized/scalar pair measures the same workload.
+_TRACE_BENCH_CONFIG = ScenarioConfig(
+    duration=90 * DAY,
+    arrivals=ArrivalConfig(events_per_day=32.0, expiring_fraction=1.0),
+    reads=ReadConfig(reads_per_day=4.0),
+    outages=OutageConfig(downtime_fraction=0.5, outages_per_day=4.0),
+)
+
+
 @pytest.mark.benchmark(group="micro")
 def test_bench_trace_generation(benchmark):
-    config = ScenarioConfig(
-        duration=90 * DAY,
-        arrivals=ArrivalConfig(events_per_day=32.0, expiring_fraction=1.0),
-        reads=ReadConfig(reads_per_day=4.0),
-        outages=OutageConfig(downtime_fraction=0.5, outages_per_day=4.0),
-    )
-    trace = benchmark(build_trace, config, 3)
+    trace = benchmark(build_trace, _TRACE_BENCH_CONFIG, 3)
+    assert len(trace.arrivals) > 2_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_trace_generation_scalar(benchmark):
+    """The retired scalar generators, kept benchmarked so the trajectory
+    records what the columnar pipeline buys (and the fallback's cost)."""
+    from repro.workload.methods import use_method
+
+    def build_scalar():
+        with use_method("scalar"):
+            return build_trace(_TRACE_BENCH_CONFIG, 3)
+
+    trace = benchmark(build_scalar)
     assert len(trace.arrivals) > 2_000
 
 

@@ -52,13 +52,13 @@ import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import faults, obs
 from repro.experiments.runner import run_baseline, run_paired, run_scenario
 from repro.metrics.waste_loss import pair_metrics
 from repro.proxy.policies import PolicyConfig
-from repro.sim import trace_cache
+from repro.sim import trace_cache, trace_shm
 from repro.workload.scenario import ScenarioConfig, build_trace_cached
 
 #: Upper bound on automatic chunk sizes: keeps the in-order harvest
@@ -94,6 +94,7 @@ def _worker_init(
     trace_cache_dir: Optional[str],
     obs_config: Optional["obs.ObsConfig"] = None,
     fault_spec: Optional["faults.FaultSpec"] = None,
+    shm_traces: Optional[Dict[str, str]] = None,
 ) -> None:
     """Process-pool initializer: inherit the parent's process-wide setup.
 
@@ -107,10 +108,15 @@ def _worker_init(
     propagates through the future exactly like any other error). The
     fault spec (``--faults``) likewise: a lossy sweep must inject the
     same faults whether a cell runs inline or in a worker.
+
+    ``shm_traces`` maps trace content keys to shared-memory segment
+    names the parent published (:mod:`repro.sim.trace_shm`); workers
+    attach those columns zero-copy instead of rebuilding the trace.
     """
     trace_cache.configure(trace_cache_dir)
     obs.configure(obs_config)
     faults.configure(fault_spec)
+    trace_shm.configure(shm_traces)
 
 
 def _run_chunk(fn: Callable[..., Any], chunk: Sequence[Tuple[Any, ...]]) -> List[Any]:
@@ -124,6 +130,7 @@ def parallel_map(
     jobs: Optional[int] = 1,
     on_result: Optional[Callable[[int, Any], None]] = None,
     chunksize: Optional[int] = None,
+    shm_traces: Optional[Dict[str, str]] = None,
 ) -> List[Any]:
     """Evaluate ``fn(*task)`` for every task, optionally across processes.
 
@@ -139,6 +146,10 @@ def parallel_map(
     (``None`` = automatic, see :func:`resolve_chunksize`): fewer, fatter
     futures amortize pickling/IPC, and contiguous cells landing on one
     worker keeps its per-process trace/baseline caches warm.
+
+    ``shm_traces`` (key→segment name) is forwarded to every worker's
+    initializer so published traces attach zero-copy; inline execution
+    ignores it (the parent already holds the traces).
     """
     tasks = [task if isinstance(task, tuple) else (task,) for task in tasks]
     effective = resolve_jobs(jobs, len(tasks))
@@ -160,6 +171,7 @@ def parallel_map(
             None if cache_dir is None else str(cache_dir),
             obs.active_config(),
             faults.active_spec(),
+            shm_traces,
         ),
     ) as pool:
         futures = [pool.submit(_run_chunk, fn, part) for part in chunks]
@@ -291,6 +303,36 @@ def execute_batch(batch: ScenarioBatchTask) -> Tuple[PairedOutcome, ...]:
     return tuple(outcomes)
 
 
+def publish_grid_traces(
+    tasks: Sequence[PairedTask], jobs: Optional[int]
+) -> Optional[trace_shm.ShmTraceSet]:
+    """Build and publish the grid's traces for zero-copy worker attach.
+
+    Returns None when the grid will run inline (nothing to hand off).
+    The parent builds each unique ``(config, seed)`` trace once — via
+    :func:`build_trace_cached`, so its own LRU and any disk cache are
+    honoured — and publishes the columns to shared memory. The caller
+    owns the returned set and must ``unlink()`` it (or use it as a
+    context manager) once the pool has drained.
+    """
+    if resolve_jobs(jobs, len(tasks)) <= 1:
+        return None
+    fault_spec = faults.active_spec()
+    shm_set = trace_shm.ShmTraceSet()
+    try:
+        for task in tasks:
+            key = trace_cache.trace_key(task.config, task.seed, faults=fault_spec)
+            if key in shm_set.mapping:
+                continue
+            with obs.PROBES.phase("trace-build"):
+                trace = build_trace_cached(task.config, seed=task.seed)
+            shm_set.publish(key, trace)
+    except Exception:
+        shm_set.unlink()
+        raise
+    return shm_set
+
+
 def run_pair_grid(
     tasks: Sequence[PairedTask],
     jobs: Optional[int] = 1,
@@ -306,37 +348,51 @@ def run_pair_grid(
     streaming ``on_result(index, outcome)`` order — are bit-for-bit
     identical to the per-cell path (``group=False``); grouping only
     removes redundant, deterministic re-computation.
+
+    With workers, the parent publishes every unique trace of the grid
+    to shared memory first (:func:`publish_grid_traces`); workers attach
+    the columns zero-copy instead of rebuilding. Attached columns are
+    byte-identical to a local build, so outcomes do not depend on the
+    handoff path.
     """
     tasks = list(tasks)
-    if not group:
-        return parallel_map(
-            execute_pair,
-            [(task,) for task in tasks],
+    shm_set = publish_grid_traces(tasks, jobs)
+    shm_traces = None if shm_set is None else dict(shm_set.mapping)
+    try:
+        if not group:
+            return parallel_map(
+                execute_pair,
+                [(task,) for task in tasks],
+                jobs=jobs,
+                on_result=on_result,
+                chunksize=chunksize,
+                shm_traces=shm_traces,
+            )
+        batches = group_paired_tasks(tasks)
+        results: List[Optional[PairedOutcome]] = [None] * len(tasks)
+        emitted = 0
+
+        def _scatter(batch_index: int, outcomes: Tuple[PairedOutcome, ...]) -> None:
+            # Batches harvest in submission order; once every batch covering
+            # the next grid index has landed, stream the contiguous prefix.
+            nonlocal emitted
+            with obs.PROBES.phase("scatter"):
+                for cell, outcome in zip(batches[batch_index].cells, outcomes):
+                    results[cell.index] = outcome
+                while emitted < len(results) and results[emitted] is not None:
+                    if on_result is not None:
+                        on_result(emitted, results[emitted])
+                    emitted += 1
+
+        parallel_map(
+            execute_batch,
+            [(batch,) for batch in batches],
             jobs=jobs,
-            on_result=on_result,
+            on_result=_scatter,
             chunksize=chunksize,
+            shm_traces=shm_traces,
         )
-    batches = group_paired_tasks(tasks)
-    results: List[Optional[PairedOutcome]] = [None] * len(tasks)
-    emitted = 0
-
-    def _scatter(batch_index: int, outcomes: Tuple[PairedOutcome, ...]) -> None:
-        # Batches harvest in submission order; once every batch covering
-        # the next grid index has landed, stream the contiguous prefix.
-        nonlocal emitted
-        with obs.PROBES.phase("scatter"):
-            for cell, outcome in zip(batches[batch_index].cells, outcomes):
-                results[cell.index] = outcome
-            while emitted < len(results) and results[emitted] is not None:
-                if on_result is not None:
-                    on_result(emitted, results[emitted])
-                emitted += 1
-
-    parallel_map(
-        execute_batch,
-        [(batch,) for batch in batches],
-        jobs=jobs,
-        on_result=_scatter,
-        chunksize=chunksize,
-    )
-    return results  # type: ignore[return-value]
+        return results  # type: ignore[return-value]
+    finally:
+        if shm_set is not None:
+            shm_set.unlink()

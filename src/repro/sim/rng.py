@@ -6,6 +6,11 @@ high-variance outage inter-arrival times. Everything is built on
 :class:`random.Random` so runs are reproducible from a single integer
 seed, and *named substreams* guarantee that changing how many draws one
 generator makes cannot perturb another (essential for paired runs).
+
+The vectorized workload generators draw from
+:class:`numpy.random.Generator` substreams instead; both kinds of
+substream are keyed by the same :func:`derive_seed`, so a (seed, name)
+pair names one reproducible stream regardless of the engine behind it.
 """
 
 from __future__ import annotations
@@ -13,17 +18,52 @@ from __future__ import annotations
 import hashlib
 import math
 import random
-from typing import Iterator, List, Sequence, TypeVar
+from typing import TYPE_CHECKING, Iterator, List, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.random
 
 T = TypeVar("T")
 
 
-def _derive_seed(seed: int, name: str) -> int:
-    """Derive a stable 64-bit substream seed from a parent seed and name."""
-    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+def derive_seed(seed: int, name: str) -> int:
+    """Derive a stable 64-bit substream seed from a parent seed and name.
+
+    The two fields are length-prefixed before hashing, so no (seed,
+    name) pair can collide with another by shifting bytes across the
+    field boundary — names are free to contain ``:`` or any other
+    delimiter. (The previous scheme hashed the unframed string
+    ``f"{seed}:{name}"``.)
+    """
+    seed_bytes = str(int(seed)).encode("ascii")
+    name_bytes = name.encode("utf-8")
+    payload = (
+        len(seed_bytes).to_bytes(4, "big")
+        + seed_bytes
+        + len(name_bytes).to_bytes(4, "big")
+        + name_bytes
+    )
+    digest = hashlib.sha256(payload).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+#: Backwards-compatible private alias (pre-existing callers).
+_derive_seed = derive_seed
+
+
+def numpy_substream(seed: int, name: str) -> "numpy.random.Generator":
+    """A :class:`numpy.random.Generator` for the named substream.
+
+    Keyed by :func:`derive_seed` exactly like :meth:`RandomSource.spawn`,
+    so the vectorized generators address their streams by the same
+    (seed, name) coordinates as the scalar ones — only the bit engine
+    (PCG64 vs Mersenne Twister) differs.
+    """
+    import numpy.random
+
+    return numpy.random.default_rng(derive_seed(seed, name))
 
 
 class RandomSource:
@@ -44,7 +84,16 @@ class RandomSource:
         Two sources spawned with the same (seed, name) pair produce the
         same sequence regardless of what either parent does afterwards.
         """
-        return RandomSource(_derive_seed(self._seed, name))
+        return RandomSource(derive_seed(self._seed, name))
+
+    def spawn_numpy(self, name: str) -> "numpy.random.Generator":
+        """An independent numpy substream keyed by ``name``.
+
+        Same determinism contract as :meth:`spawn`: two generators
+        spawned with the same (seed, name) pair produce the same
+        sequence regardless of what either parent does afterwards.
+        """
+        return numpy_substream(self._seed, name)
 
     # ------------------------------------------------------------------
     # Elementary draws

@@ -4,50 +4,86 @@ Frozen traces are the unit of reproducibility in this library — a saved
 trace replays bit-for-bit under any policy on any machine. The format is
 plain JSON: self-describing, diffable, and safe to archive next to the
 numbers it produced.
+
+Format version 2 is **columnar**: each record stream is a struct of
+parallel arrays mirroring :class:`repro.sim.trace.TraceColumns`, so
+loading builds the numpy columns directly instead of materializing one
+object per record. Version 2 also marks the regeneration of every
+stream by the vectorized workload generators (and the re-framed
+substream seed derivation), so version-1 documents — including any
+``--trace-cache`` directory written before the bump — are rejected
+rather than silently replayed alongside incompatible new traces.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Union
 
 from repro.errors import ConfigurationError
 from repro.sim.trace import (
-    ArrivalRecord,
-    OutageRecord,
-    RankChangeRecord,
-    ReadRecord,
+    ArrivalColumns,
+    OutageColumns,
+    RankChangeColumns,
+    ReadColumns,
     Trace,
+    TraceColumns,
 )
-from repro.types import EventId
 
 #: Format marker written into every file; bumped on breaking changes.
-FORMAT_VERSION = 1
+#: History: 1 = scalar row-oriented records; 2 = columnar streams,
+#: vectorized generators, length-prefixed substream seed derivation.
+FORMAT_VERSION = 2
+
+#: Public alias used by docs and cache-invalidation notes.
+TRACE_FORMAT_VERSION = FORMAT_VERSION
+
+
+def _expires_to_json(expires_at) -> list:
+    """NaN is not valid JSON; the never-expires sentinel becomes null."""
+    return [None if e != e else e for e in expires_at.tolist()]
 
 
 def trace_to_dict(trace: Trace) -> dict:
-    """Represent a trace as JSON-serializable primitives."""
+    """Represent a trace as JSON-serializable primitives (columnar)."""
+    cols = trace.columns
     return {
         "format": FORMAT_VERSION,
         "duration": trace.duration,
         "metadata": dict(trace.metadata),
-        "arrivals": [
-            {
-                "time": a.time,
-                "event_id": int(a.event_id),
-                "rank": a.rank,
-                "expires_at": a.expires_at,
-            }
-            for a in trace.arrivals
-        ],
-        "reads": [{"time": r.time, "count": r.count} for r in trace.reads],
-        "outages": [{"start": o.start, "end": o.end} for o in trace.outages],
-        "rank_changes": [
-            {"time": c.time, "event_id": int(c.event_id), "new_rank": c.new_rank}
-            for c in trace.rank_changes
-        ],
+        "arrivals": {
+            "time": cols.arrivals.times.tolist(),
+            "event_id": cols.arrivals.event_ids.tolist(),
+            "rank": cols.arrivals.ranks.tolist(),
+            "expires_at": _expires_to_json(cols.arrivals.expires_at),
+        },
+        "reads": {
+            "time": cols.reads.times.tolist(),
+            "count": cols.reads.counts.tolist(),
+        },
+        "outages": {
+            "start": cols.outages.starts.tolist(),
+            "end": cols.outages.ends.tolist(),
+        },
+        "rank_changes": {
+            "time": cols.rank_changes.times.tolist(),
+            "event_id": cols.rank_changes.event_ids.tolist(),
+            "new_rank": cols.rank_changes.new_ranks.tolist(),
+        },
     }
+
+
+def _column(stream: dict, key: str, expected_len: int = -1) -> list:
+    values = stream[key]
+    if not isinstance(values, list):
+        raise KeyError(key)
+    if expected_len >= 0 and len(values) != expected_len:
+        raise ValueError(
+            f"column {key!r} has {len(values)} entries, expected {expected_len}"
+        )
+    return values
 
 
 def trace_from_dict(data: dict) -> Trace:
@@ -64,34 +100,40 @@ def trace_from_dict(data: dict) -> Trace:
             f"unsupported trace format {version!r} (expected {FORMAT_VERSION})"
         )
     try:
+        arrivals = data["arrivals"]
+        reads = data["reads"]
+        outages = data["outages"]
+        changes = data["rank_changes"]
+        arrival_times = _column(arrivals, "time")
+        read_times = _column(reads, "time")
+        outage_starts = _column(outages, "start")
+        change_times = _column(changes, "time")
+        columns = TraceColumns(
+            arrivals=ArrivalColumns.build(
+                arrival_times,
+                _column(arrivals, "event_id", len(arrival_times)),
+                _column(arrivals, "rank", len(arrival_times)),
+                [
+                    math.nan if e is None else float(e)
+                    for e in _column(arrivals, "expires_at", len(arrival_times))
+                ],
+            ),
+            reads=ReadColumns.build(
+                read_times, _column(reads, "count", len(read_times))
+            ),
+            outages=OutageColumns.build(
+                outage_starts, _column(outages, "end", len(outage_starts))
+            ),
+            rank_changes=RankChangeColumns.build(
+                change_times,
+                _column(changes, "event_id", len(change_times)),
+                _column(changes, "new_rank", len(change_times)),
+            ),
+        )
         trace = Trace(
             duration=float(data["duration"]),
             metadata=dict(data.get("metadata", {})),
-            arrivals=tuple(
-                ArrivalRecord(
-                    time=float(a["time"]),
-                    event_id=EventId(int(a["event_id"])),
-                    rank=float(a["rank"]),
-                    expires_at=None if a["expires_at"] is None else float(a["expires_at"]),
-                )
-                for a in data["arrivals"]
-            ),
-            reads=tuple(
-                ReadRecord(time=float(r["time"]), count=int(r["count"]))
-                for r in data["reads"]
-            ),
-            outages=tuple(
-                OutageRecord(start=float(o["start"]), end=float(o["end"]))
-                for o in data["outages"]
-            ),
-            rank_changes=tuple(
-                RankChangeRecord(
-                    time=float(c["time"]),
-                    event_id=EventId(int(c["event_id"])),
-                    new_rank=float(c["new_rank"]),
-                )
-                for c in data["rank_changes"]
-            ),
+            columns=columns,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"malformed trace data: {exc}") from exc

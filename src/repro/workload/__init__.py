@@ -12,12 +12,27 @@ populated with (Section 3), plus rank-change events (Section 3.4).
 * :mod:`~repro.workload.scenario` — :class:`ScenarioConfig` tying it all
   together and :func:`build_trace` producing a replayable
   :class:`~repro.sim.trace.Trace`.
+
+Every generator has a vectorized (numpy, default) and a scalar
+(reference) implementation selected via :mod:`~repro.workload.methods`;
+the ``generate_*_columns`` variants return columnar arrays directly.
 """
 
-from repro.workload.arrivals import ArrivalConfig, ExpirationDistribution, generate_arrivals
-from repro.workload.outages import OutageConfig, generate_outages
-from repro.workload.ranks import RankChangeConfig, RankDistribution, generate_rank_changes
-from repro.workload.reads import ReadConfig, generate_reads
+from repro.workload.arrivals import (
+    ArrivalConfig,
+    ExpirationDistribution,
+    generate_arrival_columns,
+    generate_arrivals,
+)
+from repro.workload.methods import SCALAR, VECTORIZED, use_method
+from repro.workload.outages import OutageConfig, generate_outage_columns, generate_outages
+from repro.workload.ranks import (
+    RankChangeConfig,
+    RankDistribution,
+    generate_rank_change_columns,
+    generate_rank_changes,
+)
+from repro.workload.reads import ReadConfig, generate_read_columns, generate_reads
 from repro.workload.scenario import ScenarioConfig, build_trace
 
 __all__ = [
@@ -27,10 +42,17 @@ __all__ = [
     "RankChangeConfig",
     "RankDistribution",
     "ReadConfig",
+    "SCALAR",
     "ScenarioConfig",
+    "VECTORIZED",
     "build_trace",
+    "generate_arrival_columns",
     "generate_arrivals",
+    "generate_outage_columns",
     "generate_outages",
+    "generate_rank_change_columns",
     "generate_rank_changes",
+    "generate_read_columns",
     "generate_reads",
+    "use_method",
 ]

@@ -15,12 +15,16 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.sim.rng import RandomSource
-from repro.sim.trace import ArrivalRecord
+from repro.sim.trace import ArrivalColumns, ArrivalRecord, NEVER_EXPIRES
 from repro.types import EventId
 from repro.units import DAY, HOUR
-from repro.workload.arrivals import ArrivalConfig, _draw_lifetime
+from repro.workload import methods
+from repro.workload._vector import poisson_process_times
+from repro.workload.arrivals import ArrivalConfig, _draw_lifetime, _vector_lifetimes
 
 
 @dataclass(frozen=True)
@@ -76,31 +80,28 @@ class DiurnalProfile:
         mean = sum(self.hourly) / 24.0
         return self.hourly[hour] / mean
 
+    def relative_intensity_array(self, times: np.ndarray) -> np.ndarray:
+        """Batched :meth:`relative_intensity`."""
+        hours = np.minimum(
+            ((times % DAY) // HOUR).astype(np.int64), 23
+        )
+        mean = sum(self.hourly) / 24.0
+        return np.asarray(self.hourly, dtype=np.float64)[hours] / mean
+
     @property
     def peak_multiplier(self) -> float:
         mean = sum(self.hourly) / 24.0
         return max(self.hourly) / mean
 
 
-def generate_diurnal_arrivals(
+def _generate_scalar(
     config: ArrivalConfig,
     profile: DiurnalProfile,
     duration: float,
     rng: RandomSource,
-    first_event_id: int = 0,
+    first_event_id: int,
 ) -> List[ArrivalRecord]:
-    """Generate arrivals whose intensity follows the diurnal profile.
-
-    Thinning: candidates are drawn from a homogeneous process at the
-    peak intensity and kept with probability proportional to the profile
-    at their timestamp. Daily totals match ``config.events_per_day`` in
-    expectation.
-    """
-    config.validate()
-    profile.validate()
-    if duration <= 0:
-        raise ConfigurationError(f"duration must be positive, got {duration}")
-
+    """Reference thinning loop (the original implementation)."""
     time_rng = rng.spawn("diurnal-times")
     keep_rng = rng.spawn("diurnal-thinning")
     rank_rng = rng.spawn("diurnal-ranks")
@@ -123,6 +124,71 @@ def generate_diurnal_arrivals(
         )
         next_id += 1
     return arrivals
+
+
+def generate_diurnal_arrival_columns(
+    config: ArrivalConfig,
+    profile: DiurnalProfile,
+    duration: float,
+    rng: RandomSource,
+    first_event_id: int = 0,
+    method: Optional[str] = None,
+) -> ArrivalColumns:
+    """Generate arrivals whose intensity follows the diurnal profile.
+
+    Thinning: candidates are drawn from a homogeneous process at the
+    peak intensity and kept with probability proportional to the profile
+    at their timestamp. Daily totals match ``config.events_per_day`` in
+    expectation.
+    """
+    config.validate()
+    profile.validate()
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    if methods.resolve(method) == methods.SCALAR:
+        return ArrivalColumns.from_records(
+            _generate_scalar(config, profile, duration, rng, first_event_id)
+        )
+
+    time_gen = rng.spawn_numpy("diurnal-times")
+    keep_gen = rng.spawn_numpy("diurnal-thinning")
+    rank_gen = rng.spawn_numpy("diurnal-ranks")
+    expiry_gen = rng.spawn_numpy("diurnal-expirations")
+
+    peak = profile.peak_multiplier
+    peak_rate = (config.events_per_day / DAY) * peak
+    candidates = poisson_process_times(time_gen, peak_rate, duration)
+    keep_probability = profile.relative_intensity_array(candidates) / peak
+    times = candidates[keep_gen.random(candidates.size) < keep_probability]
+
+    count = times.size
+    ranks = config.rank.draw_array(rank_gen, count)
+    expires_at = np.full(count, NEVER_EXPIRES)
+    if config.expiring_fraction > 0 and count:
+        expiring = expiry_gen.random(count) < config.expiring_fraction
+        n_expiring = int(expiring.sum())
+        if n_expiring:
+            expires_at[expiring] = times[expiring] + _vector_lifetimes(
+                config, expiry_gen, n_expiring
+            )
+    event_ids = np.arange(first_event_id, first_event_id + count, dtype=np.int64)
+    return ArrivalColumns.build(times, event_ids, ranks, expires_at)
+
+
+def generate_diurnal_arrivals(
+    config: ArrivalConfig,
+    profile: DiurnalProfile,
+    duration: float,
+    rng: RandomSource,
+    first_event_id: int = 0,
+    method: Optional[str] = None,
+) -> List[ArrivalRecord]:
+    """Record-oriented view of :func:`generate_diurnal_arrival_columns`."""
+    return list(
+        generate_diurnal_arrival_columns(
+            config, profile, duration, rng, first_event_id=first_event_id, method=method
+        ).to_records()
+    )
 
 
 def hourly_histogram(arrivals: Sequence[ArrivalRecord]) -> List[int]:

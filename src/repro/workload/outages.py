@@ -13,17 +13,26 @@ chosen so that the expected cumulative downtime matches the configured
 fraction. An optional normalization pass rescales the generated
 down-periods so the realized fraction matches the target closely, which
 keeps the x-axis of Figure 2 tight.
+
+Two implementations (see :mod:`repro.workload.methods`): the default
+vectorized path draws whole batches of up/down periods and positions
+them by cumulative sums, merging and rescaling with array operations;
+the scalar path is the original interval-at-a-time loop.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sim.rng import RandomSource
-from repro.sim.trace import OutageRecord
+from repro.sim.trace import OutageColumns, OutageRecord
 from repro.units import DAY
+from repro.workload import methods
 
 
 @dataclass(frozen=True)
@@ -56,6 +65,10 @@ class OutageConfig:
                 f"duration_sigma must be non-negative, got {self.duration_sigma}"
             )
 
+
+# ----------------------------------------------------------------------
+# Scalar reference path
+# ----------------------------------------------------------------------
 
 def _merge(outages: List[OutageRecord]) -> List[OutageRecord]:
     """Merge overlapping or touching outage intervals."""
@@ -99,25 +112,10 @@ def _rescale(
     return current
 
 
-def generate_outages(
-    config: OutageConfig,
-    duration: float,
-    rng: RandomSource,
+def _generate_scalar(
+    config: OutageConfig, duration: float, rng: RandomSource
 ) -> List[OutageRecord]:
-    """Generate the outage intervals for one trace.
-
-    A downtime fraction of 0 yields no outages; a fraction of 1 yields a
-    single outage spanning the entire run (the device never hears from
-    the proxy, matching the paper's "point of no connectivity").
-    """
-    config.validate()
-    if duration <= 0:
-        raise ConfigurationError(f"duration must be positive, got {duration}")
-    if config.downtime_fraction == 0.0:
-        return []
-    if config.downtime_fraction >= 1.0:
-        return [OutageRecord(start=0.0, end=duration)]
-
+    """Reference interval-at-a-time loop (the original implementation)."""
     cycle = DAY / config.outages_per_day
     mean_down = config.downtime_fraction * cycle
     mean_up = (1.0 - config.downtime_fraction) * cycle
@@ -140,3 +138,126 @@ def generate_outages(
     if config.normalize:
         outages = _rescale(outages, config.downtime_fraction * duration, duration)
     return outages
+
+
+# ----------------------------------------------------------------------
+# Vectorized path
+# ----------------------------------------------------------------------
+
+def _merge_arrays(
+    starts: np.ndarray, ends: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`_merge` for start-sorted interval arrays."""
+    if starts.size < 2:
+        return starts, ends
+    running_end = np.maximum.accumulate(ends)
+    group_head = np.empty(starts.size, dtype=bool)
+    group_head[0] = True
+    group_head[1:] = starts[1:] > running_end[:-1]
+    heads = np.flatnonzero(group_head)
+    return starts[heads], np.maximum.reduceat(ends, heads)
+
+
+def _rescale_arrays(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    target_downtime: float,
+    duration: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`_rescale`: same passes, tolerance, and clamping."""
+    for _ in range(4):
+        achieved = float((ends - starts).sum())
+        if achieved <= 0:
+            return starts, ends
+        factor = target_downtime / achieved
+        if abs(factor - 1.0) < 0.005:
+            break
+        new_ends = np.minimum(duration, starts + (ends - starts) * factor)
+        keep = new_ends > starts
+        starts, ends = _merge_arrays(starts[keep], new_ends[keep])
+    return starts, ends
+
+
+def _generate_vectorized(
+    config: OutageConfig, duration: float, rng: RandomSource
+) -> Tuple[np.ndarray, np.ndarray]:
+    up_gen = rng.spawn_numpy("outage-up")
+    down_gen = rng.spawn_numpy("outage-down")
+
+    cycle = DAY / config.outages_per_day
+    mean_down = config.downtime_fraction * cycle
+    mean_up = (1.0 - config.downtime_fraction) * cycle
+    sigma = config.duration_sigma
+    # Lognormal parameterized by its arithmetic mean, matching
+    # RandomSource.lognormal.
+    mu = math.log(mean_down) - 0.5 * sigma * sigma if mean_down > 0 else 0.0
+
+    def draw_cycles(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        ups = up_gen.exponential(mean_up, size=count)
+        if sigma > 0:
+            downs = down_gen.lognormal(mu, sigma, size=count)
+        else:
+            downs = np.full(count, mean_down)
+        return ups, downs
+
+    expected = duration / cycle
+    batch = int(expected + 6.0 * math.sqrt(expected + 1.0)) + 16
+    ups, downs = draw_cycles(batch)
+    # Start of interval i = all up-periods through i plus all earlier
+    # down-periods (the alternating renewal structure).
+    starts = np.cumsum(ups)
+    starts[1:] += np.cumsum(downs[:-1])
+    ends = starts + downs
+    while starts[-1] < duration:
+        more_ups, more_downs = draw_cycles(max(16, batch // 4))
+        more_starts = ends[-1] + np.cumsum(more_ups)
+        more_starts[1:] += np.cumsum(more_downs[:-1])
+        more_ends = more_starts + more_downs
+        starts = np.concatenate([starts, more_starts])
+        ends = np.concatenate([ends, more_ends])
+
+    keep = starts < duration
+    starts = starts[keep]
+    ends = np.minimum(ends[keep], duration)
+    positive = ends > starts  # guard against float underflow at tiny fractions
+    starts, ends = _merge_arrays(starts[positive], ends[positive])
+    if config.normalize:
+        starts, ends = _rescale_arrays(
+            starts, ends, config.downtime_fraction * duration, duration
+        )
+    return starts, ends
+
+
+def generate_outage_columns(
+    config: OutageConfig,
+    duration: float,
+    rng: RandomSource,
+    method: Optional[str] = None,
+) -> OutageColumns:
+    """Generate the outage intervals for one trace, as columnar arrays.
+
+    A downtime fraction of 0 yields no outages; a fraction of 1 yields a
+    single outage spanning the entire run (the device never hears from
+    the proxy, matching the paper's "point of no connectivity").
+    """
+    config.validate()
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    if config.downtime_fraction == 0.0:
+        return OutageColumns.empty()
+    if config.downtime_fraction >= 1.0:
+        return OutageColumns.build([0.0], [duration])
+    if methods.resolve(method) == methods.SCALAR:
+        return OutageColumns.from_records(_generate_scalar(config, duration, rng))
+    starts, ends = _generate_vectorized(config, duration, rng)
+    return OutageColumns.build(starts, ends)
+
+
+def generate_outages(
+    config: OutageConfig,
+    duration: float,
+    rng: RandomSource,
+    method: Optional[str] = None,
+) -> List[OutageRecord]:
+    """Record-oriented view of :func:`generate_outage_columns`."""
+    return list(generate_outage_columns(config, duration, rng, method=method).to_records())

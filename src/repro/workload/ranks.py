@@ -13,12 +13,20 @@ produces such events for a configurable fraction of arrivals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sim.rng import RandomSource
-from repro.sim.trace import ArrivalRecord, RankChangeRecord
+from repro.sim.trace import (
+    ArrivalColumns,
+    ArrivalRecord,
+    RankChangeColumns,
+    RankChangeRecord,
+)
 from repro.units import HOUR
+from repro.workload import methods
 
 #: The maximum rank on the paper's example scale ("4.5 out of 5 maximum").
 MAX_RANK: float = 5.0
@@ -42,6 +50,10 @@ class RankDistribution:
 
     def draw(self, rng: RandomSource) -> float:
         return rng.uniform(self.low, self.high)
+
+    def draw_array(self, gen: "np.random.Generator", size: int) -> np.ndarray:
+        """Batched :meth:`draw` on a numpy substream."""
+        return gen.uniform(self.low, self.high, size=size)
 
 
 @dataclass(frozen=True)
@@ -86,23 +98,13 @@ class RankChangeConfig:
         return self.drop_fraction > 0 or self.boost_fraction > 0
 
 
-def generate_rank_changes(
+def _generate_scalar(
     config: RankChangeConfig,
     arrivals: Sequence[ArrivalRecord],
     duration: float,
     rng: RandomSource,
 ) -> List[RankChangeRecord]:
-    """Generate rank-change records for a set of arrivals.
-
-    Each arrival is independently demoted (with probability
-    ``drop_fraction``) or boosted (with probability ``boost_fraction``)
-    at an exponentially distributed delay after its publication. Changes
-    falling beyond the trace duration are discarded — they would never
-    be observed.
-    """
-    config.validate()
-    if not config.enabled:
-        return []
+    """Reference per-arrival loop (the original implementation)."""
     pick_rng = rng.spawn("rank-change-pick")
     delay_rng = rng.spawn("rank-change-delay")
     value_rng = rng.spawn("rank-change-value")
@@ -124,3 +126,77 @@ def generate_rank_changes(
         )
     changes.sort(key=lambda record: record.time)
     return changes
+
+
+def generate_rank_change_columns(
+    config: RankChangeConfig,
+    arrivals: Union[ArrivalColumns, Sequence[ArrivalRecord]],
+    duration: float,
+    rng: RandomSource,
+    method: Optional[str] = None,
+) -> RankChangeColumns:
+    """Generate rank-change records for a set of arrivals, as columns.
+
+    Each arrival is independently demoted (with probability
+    ``drop_fraction``) or boosted (with probability ``boost_fraction``)
+    at an exponentially distributed delay after its publication. Changes
+    falling beyond the trace duration are discarded — they would never
+    be observed.
+    """
+    config.validate()
+    if not config.enabled:
+        return RankChangeColumns.empty()
+    if not isinstance(arrivals, ArrivalColumns):
+        arrivals = ArrivalColumns.from_records(arrivals)
+    if methods.resolve(method) == methods.SCALAR:
+        return RankChangeColumns.from_records(
+            _generate_scalar(config, arrivals.to_records(), duration, rng)
+        )
+
+    pick_gen = rng.spawn_numpy("rank-change-pick")
+    delay_gen = rng.spawn_numpy("rank-change-delay")
+    value_gen = rng.spawn_numpy("rank-change-value")
+
+    n = arrivals.times.size
+    rolls = pick_gen.random(n)
+    dropped = rolls < config.drop_fraction
+    boosted = ~dropped & (rolls < config.drop_fraction + config.boost_fraction)
+    changed = np.flatnonzero(dropped | boosted)
+    if not changed.size:
+        return RankChangeColumns.empty()
+
+    new_ranks = np.minimum(
+        MAX_RANK, arrivals.ranks[changed] + config.boost_amount
+    )
+    drop_positions = dropped[changed]
+    n_dropped = int(drop_positions.sum())
+    if n_dropped:
+        new_ranks[drop_positions] = value_gen.uniform(
+            config.drop_to_low, config.drop_to_high, size=n_dropped
+        )
+    times = arrivals.times[changed] + delay_gen.exponential(
+        config.change_delay_mean, size=changed.size
+    )
+    observed = times < duration
+    times = times[observed]
+    # Stable sort: equal-time changes keep arrival order, matching the
+    # scalar path's list.sort.
+    order = np.argsort(times, kind="stable")
+    return RankChangeColumns.build(
+        times[order],
+        arrivals.event_ids[changed][observed][order],
+        new_ranks[observed][order],
+    )
+
+
+def generate_rank_changes(
+    config: RankChangeConfig,
+    arrivals: Union[ArrivalColumns, Sequence[ArrivalRecord]],
+    duration: float,
+    rng: RandomSource,
+    method: Optional[str] = None,
+) -> List[RankChangeRecord]:
+    """Record-oriented view of :func:`generate_rank_change_columns`."""
+    return list(
+        generate_rank_change_columns(config, arrivals, duration, rng, method=method).to_records()
+    )

@@ -4,18 +4,27 @@ The paper: "The user checks for new messages a certain number of times
 per day chosen from a normal distribution (user frequency), which are
 distributed randomly throughout the 16- to 17-hour period, also slightly
 randomized, that the user is awake."
+
+Two implementations (see :mod:`repro.workload.methods`): the default
+vectorized path draws every day's read count, wake offset, and awake
+length as numpy arrays and expands them into one sorted time column; the
+scalar path is the original per-day loop.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sim.rng import RandomSource
-from repro.sim.trace import ReadRecord
+from repro.sim.trace import ReadColumns, ReadRecord
 from repro.units import AWAKE_HOURS_MAX, AWAKE_HOURS_MIN, DAY, HOUR, MINUTE
+from repro.workload import methods
+from repro.workload._vector import integers_with_mean
 
 
 @dataclass(frozen=True)
@@ -63,26 +72,14 @@ class ReadConfig:
         return DAY / self.reads_per_day
 
 
-def generate_reads(
-    config: ReadConfig,
-    duration: float,
-    rng: RandomSource,
-) -> List[ReadRecord]:
-    """Generate the user read schedule for one trace.
-
-    For every virtual day, a read count is drawn from a truncated normal
-    around ``reads_per_day`` (fractional part resolved by a Bernoulli
-    trial so means below one work); read times are uniform inside that
-    day's awake window, whose start is jittered and whose length is
-    drawn between 16 and 17 hours.
-    """
-    config.validate()
-    if duration <= 0:
-        raise ConfigurationError(f"duration must be positive, got {duration}")
+def _generate_scalar(
+    config: ReadConfig, duration: float, rng: RandomSource
+) -> List[float]:
+    """Reference per-day loop returning the sorted read times."""
     count_rng = rng.spawn("read-counts")
     time_rng = rng.spawn("read-times")
 
-    reads: List[ReadRecord] = []
+    times: List[float] = []
     n_days = int(math.ceil(duration / DAY))
     std = config.daily_std_fraction * config.reads_per_day
     for day in range(n_days):
@@ -96,8 +93,74 @@ def generate_reads(
             + time_rng.normal(0.0, config.wake_jitter_std)
         )
         awake_length = time_rng.uniform(AWAKE_HOURS_MIN * HOUR, AWAKE_HOURS_MAX * HOUR)
-        times = sorted(time_rng.uniform(wake, wake + awake_length) for _ in range(count))
-        for t in times:
-            if 0.0 <= t < duration:
-                reads.append(ReadRecord(time=t, count=config.read_count))
-    return reads
+        times.extend(time_rng.uniform(wake, wake + awake_length) for _ in range(count))
+    # Sort the *whole* stream, not per day: a late-jittered awake window
+    # overlaps the next day's early-jittered one, so per-day sorting can
+    # leave the concatenated stream non-monotonic (then rejected by
+    # Trace.validate).
+    return sorted(t for t in times if 0.0 <= t < duration)
+
+
+def _generate_vectorized(
+    config: ReadConfig, duration: float, rng: RandomSource
+) -> np.ndarray:
+    """Batched draws: one row per day, expanded by per-day read counts."""
+    count_gen = rng.spawn_numpy("read-counts")
+    time_gen = rng.spawn_numpy("read-times")
+
+    n_days = int(math.ceil(duration / DAY))
+    std = config.daily_std_fraction * config.reads_per_day
+    counts = integers_with_mean(count_gen, config.reads_per_day, std, n_days)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.float64)
+
+    day_starts = np.arange(n_days, dtype=np.float64) * DAY
+    wakes = (
+        day_starts
+        + config.wake_hour * HOUR
+        + time_gen.normal(0.0, config.wake_jitter_std, size=n_days)
+    )
+    awake_lengths = time_gen.uniform(
+        AWAKE_HOURS_MIN * HOUR, AWAKE_HOURS_MAX * HOUR, size=n_days
+    )
+    day_index = np.repeat(np.arange(n_days), counts)
+    times = wakes[day_index] + time_gen.random(total) * awake_lengths[day_index]
+    times = np.sort(times)
+    return times[(times >= 0.0) & (times < duration)]
+
+
+def generate_read_columns(
+    config: ReadConfig,
+    duration: float,
+    rng: RandomSource,
+    method: Optional[str] = None,
+) -> ReadColumns:
+    """Generate the user read schedule for one trace, as columnar arrays.
+
+    For every virtual day, a read count is drawn from a truncated normal
+    around ``reads_per_day`` (fractional part resolved by a Bernoulli
+    trial so means below one work); read times are uniform inside that
+    day's awake window, whose start is jittered and whose length is
+    drawn between 16 and 17 hours. The final stream is globally sorted.
+    """
+    config.validate()
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    if methods.resolve(method) == methods.SCALAR:
+        times = np.asarray(_generate_scalar(config, duration, rng), dtype=np.float64)
+    else:
+        times = _generate_vectorized(config, duration, rng)
+    return ReadColumns.build(
+        times, np.full(times.size, config.read_count, dtype=np.int64)
+    )
+
+
+def generate_reads(
+    config: ReadConfig,
+    duration: float,
+    rng: RandomSource,
+    method: Optional[str] = None,
+) -> List[ReadRecord]:
+    """Record-oriented view of :func:`generate_read_columns`."""
+    return list(generate_read_columns(config, duration, rng, method=method).to_records())

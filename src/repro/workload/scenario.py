@@ -16,14 +16,14 @@ from typing import Optional, Tuple
 
 from repro import faults as faults_mod
 from repro.errors import ConfigurationError
-from repro.sim import trace_cache
+from repro.sim import trace_cache, trace_shm
 from repro.sim.rng import RandomSource
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceColumns
 from repro.units import YEAR
-from repro.workload.arrivals import ArrivalConfig, generate_arrivals
-from repro.workload.outages import OutageConfig, generate_outages
-from repro.workload.ranks import RankChangeConfig, generate_rank_changes
-from repro.workload.reads import ReadConfig, generate_reads
+from repro.workload.arrivals import ArrivalConfig, generate_arrival_columns
+from repro.workload.outages import OutageConfig, generate_outage_columns
+from repro.workload.ranks import RankChangeConfig, generate_rank_change_columns
+from repro.workload.reads import ReadConfig, generate_read_columns
 
 
 @dataclass(frozen=True)
@@ -85,18 +85,24 @@ def build_trace(config: ScenarioConfig, seed: Optional[int] = None) -> Trace:
     """
     config.validate()
     rng = RandomSource(config.seed if seed is None else seed)
-    arrivals = generate_arrivals(config.arrivals, config.duration, rng.spawn("arrivals"))
-    reads = generate_reads(config.reads, config.duration, rng.spawn("reads"))
-    outages = generate_outages(config.outages, config.duration, rng.spawn("outages"))
-    rank_changes = generate_rank_changes(
+    arrivals = generate_arrival_columns(
+        config.arrivals, config.duration, rng.spawn("arrivals")
+    )
+    reads = generate_read_columns(config.reads, config.duration, rng.spawn("reads"))
+    outages = generate_outage_columns(
+        config.outages, config.duration, rng.spawn("outages")
+    )
+    rank_changes = generate_rank_change_columns(
         config.rank_changes, arrivals, config.duration, rng.spawn("rank-changes")
     )
     trace = Trace(
         duration=config.duration,
-        arrivals=tuple(arrivals),
-        reads=tuple(reads),
-        outages=tuple(outages),
-        rank_changes=tuple(rank_changes),
+        columns=TraceColumns(
+            arrivals=arrivals,
+            reads=reads,
+            outages=outages,
+            rank_changes=rank_changes,
+        ),
         metadata={
             "seed": rng.seed,
             "event_frequency": config.event_frequency,
@@ -117,8 +123,8 @@ def build_trace(config: ScenarioConfig, seed: Optional[int] = None) -> Trace:
 #: same (config, seed) trace is requested many times in a row.
 _TRACE_CACHE: "OrderedDict[Tuple[ScenarioConfig, int], Trace]" = OrderedDict()
 
-#: Traces kept per process. A one-year trace is ~10k small records, so
-#: even the full cache stays a few megabytes.
+#: Traces kept per process. A one-year trace is ~10k rows of columnar
+#: float64/int64 arrays, so even the full cache stays a few megabytes.
 TRACE_CACHE_SIZE: int = 32
 
 
@@ -135,6 +141,10 @@ def build_trace_cached(config: ScenarioConfig, seed: Optional[int] = None) -> Tr
     consult that on-disk cache before regenerating, and newly built
     traces are persisted there — so paired runs, repeated sweeps, and
     every ``--jobs`` worker across invocations share one build.
+
+    In a ``--jobs`` worker whose parent published the grid's traces to
+    shared memory (:mod:`repro.sim.trace_shm`), misses attach the
+    published columns zero-copy before consulting the disk cache.
     """
     effective_seed = config.seed if seed is None else seed
     # The active fault spec rides into both cache keys: trace contents
@@ -148,12 +158,14 @@ def build_trace_cached(config: ScenarioConfig, seed: Optional[int] = None) -> Tr
     if cached is not None:
         _TRACE_CACHE.move_to_end(key)
         return cached
+    trace = None
+    if trace_shm.active_mapping() is not None:
+        trace = trace_shm.load(
+            trace_cache.trace_key(config, effective_seed, faults=fault_spec)
+        )
     disk = trace_cache.active()
-    trace = (
-        disk.load(config, effective_seed, faults=fault_spec)
-        if disk is not None
-        else None
-    )
+    if trace is None and disk is not None:
+        trace = disk.load(config, effective_seed, faults=fault_spec)
     if trace is None:
         trace = build_trace(config, seed=seed)
         if disk is not None:

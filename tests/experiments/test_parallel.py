@@ -261,3 +261,40 @@ class TestFigureEquivalence:
         parallel = fig1_overflow_waste.run(config, jobs=2)
         assert parallel.rows == serial.rows
         assert parallel.headers == serial.headers
+
+
+class TestPublishGridTraces:
+    def test_inline_grid_publishes_nothing(self):
+        from repro.experiments.parallel import publish_grid_traces
+
+        assert publish_grid_traces(_grid_tasks(), jobs=1) is None
+        assert publish_grid_traces([], jobs=8) is None
+
+    def test_one_segment_per_unique_scenario(self):
+        from repro.experiments.parallel import publish_grid_traces
+
+        tasks = _policy_sweep_tasks()  # 5 policies x 2 seeds, one scenario
+        shm_set = publish_grid_traces(tasks, jobs=2)
+        assert shm_set is not None
+        with shm_set:
+            assert len(shm_set) == 2  # one per (config, seed)
+
+    def test_published_trace_matches_local_build(self):
+        from repro.experiments.parallel import publish_grid_traces
+        from repro.sim import trace_cache, trace_shm
+        from repro.workload.scenario import build_trace
+
+        task = _grid_tasks()[0]
+        shm_set = publish_grid_traces([task] * 2, jobs=2)
+        assert shm_set is not None
+        with shm_set:
+            key = trace_cache.trace_key(task.config, task.seed, faults=None)
+            trace_shm.configure(dict(shm_set.mapping))
+            try:
+                attached = trace_shm.load(key)
+                assert attached == build_trace(task.config, seed=task.seed)
+            finally:
+                # Release the view before teardown so the segment's
+                # buffer has no live exports when it is closed.
+                del attached
+                trace_shm.configure(None)

@@ -67,8 +67,14 @@ class TestErrors:
 
     def test_invalid_content_rejected(self, trace):
         data = trace_to_dict(trace)
-        data["arrivals"][0]["time"] = -5.0  # outside [0, duration]
+        data["arrivals"]["time"][0] = -5.0  # outside [0, duration]
         with pytest.raises(ConfigurationError):
+            trace_from_dict(data)
+
+    def test_mismatched_column_lengths_rejected(self, trace):
+        data = trace_to_dict(trace)
+        data["arrivals"]["rank"] = data["arrivals"]["rank"][:-1]
+        with pytest.raises(ConfigurationError, match="malformed"):
             trace_from_dict(data)
 
     def test_non_json_file_rejected(self, tmp_path):

@@ -1,0 +1,131 @@
+"""Tests for the zero-copy shared-memory trace handoff."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.sim import trace_shm
+from repro.sim.rng import RandomSource
+from repro.sim.trace import Trace
+from repro.units import DAY
+from repro.workload.scenario import ScenarioConfig, build_trace
+
+
+@pytest.fixture
+def trace():
+    return build_trace(ScenarioConfig(duration=5 * DAY, seed=3))
+
+
+@pytest.fixture(autouse=True)
+def _clean_worker_state():
+    yield
+    trace_shm.configure(None)
+
+
+def _shm_files():
+    return set(glob.glob("/dev/shm/repro-trace-*"))
+
+
+class TestRoundTrip:
+    def test_read_equals_written(self, trace):
+        shm = trace_shm.write_trace(trace)
+        try:
+            loaded, handle = trace_shm.read_trace(shm.name)
+            assert loaded == trace
+            assert loaded.metadata == trace.metadata
+            assert loaded.duration == trace.duration
+            del loaded
+            handle.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_views_are_read_only_and_zero_copy(self, trace):
+        shm = trace_shm.write_trace(trace)
+        try:
+            loaded, handle = trace_shm.read_trace(shm.name)
+            arrivals = loaded.columns.arrivals
+            with pytest.raises(ValueError):
+                arrivals.times[0] = -1.0
+            # Zero-copy: the arrays view the segment's buffer directly.
+            assert all(
+                not getattr(
+                    getattr(loaded.columns, stream), column
+                ).flags.owndata
+                for stream, column, _ in trace_shm.COLUMN_SPEC
+            )
+            del loaded, arrivals
+            handle.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_empty_trace_round_trips(self):
+        empty = Trace(duration=1.0)
+        shm = trace_shm.write_trace(empty)
+        try:
+            loaded, handle = trace_shm.read_trace(shm.name)
+            assert loaded == empty
+            del loaded
+            handle.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+class TestShmTraceSet:
+    def test_publish_dedups_by_key(self, trace):
+        with trace_shm.ShmTraceSet() as published:
+            first = published.publish("key-a", trace)
+            again = published.publish("key-a", trace)
+            other = published.publish("key-b", trace)
+            assert first == again
+            assert other != first
+            assert len(published) == 2
+
+    def test_unlink_releases_segments(self, trace):
+        before = _shm_files()
+        published = trace_shm.ShmTraceSet()
+        published.publish("key", trace)
+        assert len(_shm_files()) == len(before) + 1
+        published.unlink()
+        assert _shm_files() == before
+        assert len(published) == 0
+
+    def test_context_manager_unlinks_on_error(self, trace):
+        before = _shm_files()
+        with pytest.raises(RuntimeError):
+            with trace_shm.ShmTraceSet() as published:
+                published.publish("key", trace)
+                raise RuntimeError("boom")
+        assert _shm_files() == before
+
+
+class TestWorkerRegistry:
+    def test_unconfigured_load_misses(self):
+        assert trace_shm.active_mapping() is None
+        assert trace_shm.load("anything") is None
+
+    def test_load_attaches_once(self, trace):
+        with trace_shm.ShmTraceSet() as published:
+            published.publish("key", trace)
+            trace_shm.configure(dict(published.mapping))
+            first = trace_shm.load("key")
+            assert first == trace
+            # Second load returns the already-attached instance.
+            assert trace_shm.load("key") is first
+
+    def test_unknown_key_misses(self, trace):
+        with trace_shm.ShmTraceSet() as published:
+            published.publish("key", trace)
+            trace_shm.configure(dict(published.mapping))
+            assert trace_shm.load("other-key") is None
+
+    def test_vanished_segment_degrades_to_miss(self, trace):
+        published = trace_shm.ShmTraceSet()
+        published.publish("key", trace)
+        mapping = dict(published.mapping)
+        published.unlink()  # parent tore down before the worker attached
+        trace_shm.configure(mapping)
+        assert trace_shm.load("key") is None
