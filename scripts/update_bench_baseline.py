@@ -30,7 +30,7 @@ REPO = Path(__file__).resolve().parent.parent
 BASELINE = REPO / "benchmarks" / "BENCH_core.json"
 
 #: Default selection mirrors the CI bench-smoke job.
-DEFAULT_SELECT = "micro or sweep_1d"
+DEFAULT_SELECT = "micro or sweep_1d or fleet"
 
 
 def main(argv=None) -> int:

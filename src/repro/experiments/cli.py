@@ -114,6 +114,14 @@ def run_validation(days: Optional[float], quiet: bool) -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    # `fleet` is a subcommand with its own flag set; dispatch before the
+    # figure parser so its flags never collide with the ones below.
+    args_list = sys.argv[1:] if argv is None else list(argv)
+    if args_list and args_list[0] == "fleet":
+        from repro.experiments.fleet_cli import main as fleet_main
+
+        return fleet_main(args_list[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-lasthop",
         description=(
@@ -282,6 +290,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:22s} {doc}")
         print(f"{'validate':22s} Reproduction scorecard: headline claims pass/fail.")
+        print(f"{'fleet':22s} Fleet campaign: one proxy, thousands of devices "
+              "(see 'fleet --help').")
         return 0
 
     if args.figure == "validate":

@@ -1,0 +1,197 @@
+"""``repro-lasthop fleet`` — run a fleet campaign from the command line.
+
+One proxy process serving thousands of heterogeneous devices, optionally
+sharded across worker processes. Results are invariant to ``--shards``
+and ``--jobs`` (integer metrics bit-identical, float sums up to
+reassociation), so the knobs are pure throughput levers.
+
+Examples::
+
+    repro-lasthop fleet --devices 10000
+    repro-lasthop fleet --devices 100000 --shards 8 --jobs 4
+    repro-lasthop fleet --devices 10000 --faults lossy --audit
+    repro-lasthop fleet --devices 1000 --policy rate --days 7 --format json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro import faults, obs
+from repro.errors import ConfigurationError
+from repro.fleet import FleetScenarioConfig, run_fleet
+from repro.proxy.policies import PolicyConfig
+from repro.units import DAY
+from repro.workload.arrivals import ArrivalConfig
+from repro.workload.outages import OutageConfig
+from repro.workload.reads import ReadConfig
+
+#: ``--policy`` choices -> PolicyConfig constructors.
+POLICIES = {
+    "online": PolicyConfig.online,
+    "on_demand": PolicyConfig.on_demand,
+    "buffer": PolicyConfig.buffer,
+    "rate": PolicyConfig.rate,
+    "unified": PolicyConfig.unified,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lasthop fleet",
+        description=(
+            "Run one last-hop proxy against a whole fleet of simulated "
+            "devices; metrics stream into O(shards) accumulators."
+        ),
+    )
+    parser.add_argument("--devices", type=int, default=1000,
+                        help="fleet size (default 1000)")
+    parser.add_argument("--days", type=float, default=1.0,
+                        help="virtual run length in days (default 1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--events-per-day", type=float, default=None,
+                        help="mean notification arrivals per device-day")
+    parser.add_argument("--reads-per-day", type=float, default=None,
+                        help="mean user reads per device-day")
+    parser.add_argument("--downtime", type=float, default=None,
+                        help="target per-device downtime fraction in [0, 1]")
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="subscription rank threshold (default 0)")
+    parser.add_argument("--policy", choices=sorted(POLICIES), default="unified",
+                        help="proxy policy preset (default: unified)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="device partitions (default 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for shards (0 = one per CPU)")
+    parser.add_argument("--faults", type=str, default=None, metavar="SPEC",
+                        help=(
+                            "fault preset name "
+                            f"({', '.join(sorted(faults.PRESETS))}) or a JSON "
+                            "FaultSpec object, hashed per-device"
+                        ))
+    parser.add_argument("--audit", type=int, nargs="?", const=1, default=None,
+                        metavar="N",
+                        help=(
+                            "audit proxy invariants every N transitions "
+                            "(bare --audit audits every one)"
+                        ))
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the summary to this file instead of stdout")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines on stderr")
+    return parser
+
+
+def _fleet_config(args: argparse.Namespace) -> FleetScenarioConfig:
+    overrides = {}
+    if args.events_per_day is not None:
+        overrides["arrivals"] = ArrivalConfig(events_per_day=args.events_per_day)
+    if args.reads_per_day is not None:
+        overrides["reads"] = ReadConfig(reads_per_day=args.reads_per_day)
+    if args.downtime is not None:
+        overrides["outages"] = OutageConfig(downtime_fraction=args.downtime)
+    return FleetScenarioConfig(
+        devices=args.devices,
+        duration=args.days * DAY,
+        seed=args.seed,
+        threshold=args.threshold,
+        **overrides,
+    )
+
+
+def _render_json(result, elapsed: float) -> str:
+    acc = result.accumulator
+    payload = {
+        "devices": acc.devices,
+        "shards": result.shards,
+        "jobs": result.jobs,
+        "elapsed_seconds": round(elapsed, 3),
+        "events_processed": acc.events_processed,
+        "forwarded": acc.forwarded,
+        "messages_read": acc.messages_read,
+        "wasted": acc.wasted,
+        "waste": acc.waste,
+        "mean_read_age": acc.mean_read_age,
+        "read_age_p50": acc.read_delay_sketch.percentile(0.5),
+        "read_age_p95": acc.read_delay_sketch.percentile(0.95),
+        "final_proxy_queued": acc.final_proxy_queued,
+        "final_device_queued": acc.final_device_queued,
+        "counters": {k: v for k, v in sorted(acc.counters.items())},
+    }
+    return json.dumps(payload, indent=2)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.devices < 1:
+        parser.error("--devices must be >= 1")
+    if args.days <= 0:
+        parser.error("--days must be positive")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.audit is not None and args.audit < 1:
+        parser.error("--audit interval must be >= 1")
+
+    fault_spec = None
+    if args.faults is not None:
+        try:
+            fault_spec = faults.FaultSpec.parse(args.faults)
+        except ConfigurationError as error:
+            parser.error(f"--faults: {error}")
+    faults.configure(fault_spec)
+    obs.configure(
+        obs.ObsConfig(audit_interval=args.audit) if args.audit is not None else None
+    )
+
+    try:
+        config = _fleet_config(args)
+        config.validate()
+    except ConfigurationError as error:
+        parser.error(str(error))
+
+    policy = POLICIES[args.policy]()
+    started = time.time()
+    try:
+        result = run_fleet(
+            config,
+            policy,
+            shards=args.shards,
+            jobs=args.jobs,
+            faults=fault_spec,
+        )
+    except obs.InvariantViolation as error:
+        print(f"invariant audit failed:\n{error}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+
+    if not args.quiet:
+        rate = config.devices / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"  [fleet: {config.devices} devices x {args.days:g} day(s), "
+            f"{args.shards} shard(s), policy={args.policy}, "
+            f"{elapsed:.1f} s = {rate:,.0f} devices/s]",
+            file=sys.stderr,
+        )
+
+    if args.format == "json":
+        text = _render_json(result, elapsed)
+    else:
+        text = result.describe()
+    if args.output is None:
+        print(text)
+    else:
+        args.output.write_text(text + "\n", encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

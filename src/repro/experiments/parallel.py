@@ -333,6 +333,71 @@ def publish_grid_traces(
     return shm_set
 
 
+def run_fleet_shards(
+    workload,
+    policy: PolicyConfig,
+    shards: int = 1,
+    jobs: Optional[int] = 1,
+    fault_spec: Optional["faults.FaultSpec"] = None,
+    link_latency: float = 0.0,
+):
+    """Execute a fleet workload across shards; fold into one accumulator.
+
+    The workload (a :class:`repro.fleet.workload.FleetWorkload`) is
+    sliced into contiguous device ranges. Inline (``jobs<=1``) each
+    slice runs sequentially on its own simulator; with workers, each
+    slice's columns are published to shared memory
+    (:mod:`repro.sim.trace_shm` — the same segment format as grid
+    traces) and workers attach them zero-copy. Shard accumulators merge
+    in shard order, so the folded result is deterministic; device
+    outcomes are independent, so it is also invariant to ``(shards,
+    jobs)`` up to documented float reassociation.
+
+    Fleet imports stay inside the function: :mod:`repro.fleet.runner`
+    imports this module at import time, so importing it here at module
+    level would be circular.
+    """
+    from repro.fleet.runner import _execute_shard, _execute_shard_from_shm
+    from repro.fleet.workload import shard_bounds
+    from repro.metrics.streaming import FleetAccumulator
+
+    spec = fault_spec if fault_spec is not None else faults.active_spec()
+    bounds = shard_bounds(workload.devices, shards)
+    total = FleetAccumulator()
+    effective = resolve_jobs(jobs, len(bounds))
+    if effective <= 1:
+        for lo, hi in bounds:
+            piece = workload if (lo, hi) == (0, workload.devices) else (
+                workload.shard(lo, hi)
+            )
+            total.merge(_execute_shard(piece, policy, spec, link_latency))
+        return total
+
+    shm_set = trace_shm.ShmTraceSet()
+    try:
+        tasks = []
+        for s, (lo, hi) in enumerate(bounds):
+            piece = workload.shard(lo, hi)
+            key = f"fleet-shard-{s}"
+            shm_set.publish(key, piece.to_trace())
+            tasks.append(
+                (key, lo, hi, workload.config, policy, spec, link_latency)
+            )
+        results = parallel_map(
+            _execute_shard_from_shm,
+            tasks,
+            jobs=effective,
+            # One shard per future: shards are already the coarse unit.
+            chunksize=1,
+            shm_traces=dict(shm_set.mapping),
+        )
+    finally:
+        shm_set.unlink()
+    for acc in results:
+        total.merge(acc)
+    return total
+
+
 def run_pair_grid(
     tasks: Sequence[PairedTask],
     jobs: Optional[int] = 1,

@@ -61,6 +61,86 @@ class ReplicationSpec:
     fail_primary_at: Optional[float] = None
 
 
+def register_trace_streams(
+    sim: Simulator,
+    trace: Trace,
+    topic: TopicId,
+    on_notification: Callable[[Notification], None],
+    perform_read: Callable,
+    set_status: Callable,
+) -> Dict[EventId, Notification]:
+    """Register a trace's four event streams on a simulator.
+
+    Each run materializes fresh Notification objects: the proxy mutates
+    ranks in place, and paired runs must not observe each other. The
+    four trace streams replay straight from the columnar arrays (no
+    per-record dataclass is ever built on this path — important for
+    workers attached to a shared-memory trace). They are pre-sorted, so
+    they replay as lazy static streams: the engine heap holds one
+    cursor per stream plus the dynamic timers, instead of every trace
+    record up front. Stream registration order matters — it reserves
+    the same FIFO sequence numbers that per-record schedule_at calls in
+    this order would get.
+
+    Shared by the single-device runner and the fleet runner so that a
+    one-device fleet replays a device's trace with exactly the same
+    event ordering as :func:`run_scenario`. Returns the id → original
+    Notification map (the rank-change stream closes over it).
+    """
+    cols = trace.columns
+    originals: Dict[EventId, Notification] = {}
+    arrival_stream: List[Tuple[float, Callable, tuple]] = []
+    arrival_cols = cols.arrivals
+    for time, event_id, rank, expires_at in zip(
+        arrival_cols.times.tolist(),
+        arrival_cols.event_ids.tolist(),
+        arrival_cols.ranks.tolist(),
+        arrival_cols.expires_at.tolist(),
+    ):
+        notification = Notification(
+            event_id=EventId(event_id),
+            topic=topic,
+            rank=rank,
+            published_at=time,
+            # NaN != NaN: the only NaN in the column is the sentinel.
+            expires_at=None if expires_at != expires_at else expires_at,
+        )
+        originals[notification.event_id] = notification
+        arrival_stream.append((time, on_notification, (notification,)))
+    sim.add_stream(arrival_stream)
+
+    change_stream: List[Tuple[float, Callable, tuple]] = []
+    change_cols = cols.rank_changes
+    for time, event_id, new_rank in zip(
+        change_cols.times.tolist(),
+        change_cols.event_ids.tolist(),
+        change_cols.new_ranks.tolist(),
+    ):
+        original = originals[EventId(event_id)]
+        update = Notification(
+            event_id=original.event_id,
+            topic=topic,
+            rank=new_rank,
+            published_at=original.published_at,
+            expires_at=original.expires_at,
+        )
+        change_stream.append((time, on_notification, (update,)))
+    sim.add_stream(change_stream)
+
+    sim.add_stream(
+        [
+            (time, perform_read, (topic, count))
+            for time, count in zip(
+                cols.reads.times.tolist(), cols.reads.counts.tolist()
+            )
+        ]
+    )
+    sim.add_stream(
+        [(time, set_status, (status,)) for time, status in trace.network_transitions()]
+    )
+    return originals
+
+
 @dataclass(frozen=True)
 class RunResult:
     """Outcome of one scenario run."""
@@ -185,67 +265,8 @@ def run_scenario(
     if gc_interval is not None:
         collector = ProxyGarbageCollector(sim, proxy, GcConfig(interval=gc_interval))
 
-    # Each run materializes fresh Notification objects: the proxy mutates
-    # ranks in place, and paired runs must not observe each other. The
-    # four trace streams replay straight from the columnar arrays (no
-    # per-record dataclass is ever built on this path — important for
-    # workers attached to a shared-memory trace). They are pre-sorted, so
-    # they replay as lazy static streams: the engine heap holds one
-    # cursor per stream plus the dynamic timers, instead of every trace
-    # record up front. Stream registration order matters — it reserves
-    # the same FIFO sequence numbers that per-record schedule_at calls in
-    # this order would get.
-    cols = trace.columns
-    originals: Dict[EventId, Notification] = {}
-    arrival_stream: List[Tuple[float, Callable, tuple]] = []
-    on_notification = proxy.on_notification
-    arrival_cols = cols.arrivals
-    for time, event_id, rank, expires_at in zip(
-        arrival_cols.times.tolist(),
-        arrival_cols.event_ids.tolist(),
-        arrival_cols.ranks.tolist(),
-        arrival_cols.expires_at.tolist(),
-    ):
-        notification = Notification(
-            event_id=EventId(event_id),
-            topic=topic,
-            rank=rank,
-            published_at=time,
-            # NaN != NaN: the only NaN in the column is the sentinel.
-            expires_at=None if expires_at != expires_at else expires_at,
-        )
-        originals[notification.event_id] = notification
-        arrival_stream.append((time, on_notification, (notification,)))
-    sim.add_stream(arrival_stream)
-
-    change_stream: List[Tuple[float, Callable, tuple]] = []
-    change_cols = cols.rank_changes
-    for time, event_id, new_rank in zip(
-        change_cols.times.tolist(),
-        change_cols.event_ids.tolist(),
-        change_cols.new_ranks.tolist(),
-    ):
-        original = originals[EventId(event_id)]
-        update = Notification(
-            event_id=original.event_id,
-            topic=topic,
-            rank=new_rank,
-            published_at=original.published_at,
-            expires_at=original.expires_at,
-        )
-        change_stream.append((time, on_notification, (update,)))
-    sim.add_stream(change_stream)
-
-    sim.add_stream(
-        [
-            (time, device.perform_read, (topic, count))
-            for time, count in zip(
-                cols.reads.times.tolist(), cols.reads.counts.tolist()
-            )
-        ]
-    )
-    sim.add_stream(
-        [(time, link.set_status, (status,)) for time, status in trace.network_transitions()]
+    register_trace_streams(
+        sim, trace, topic, proxy.on_notification, device.perform_read, link.set_status
     )
 
     try:

@@ -1,0 +1,36 @@
+"""Fleet-scale simulation: one proxy serving thousands of devices.
+
+The paper sizes its proxy for "notification delivery to mobile users"
+at large — the experiments replay one device at a time, but the proxy
+of §3 is explicitly shared infrastructure. This package scales the
+reproduction to that setting: a single :class:`~repro.proxy.proxy.
+LastHopProxy` holds one compact per-binding :class:`~repro.proxy.state.
+TopicState` per device, per-device workload heterogeneity is drawn from
+columnar substreams in one vectorized pass, and campaigns shard over
+devices with O(shards) streaming aggregation
+(:mod:`repro.metrics.streaming`).
+
+Entry points:
+
+* :class:`~repro.fleet.config.FleetScenarioConfig` — fleet knobs plus
+  per-device heterogeneity (volume limits, awake windows, outage
+  profiles).
+* :func:`~repro.fleet.workload.build_fleet_workload` — the vectorized
+  generator; ``device_trace(i)`` slices out any single device's
+  :class:`~repro.sim.trace.Trace`.
+* :func:`~repro.fleet.runner.run_fleet` — run the fleet, optionally
+  sharded across worker processes; results are invariant to the
+  ``(shards, jobs)`` partitioning.
+"""
+
+from repro.fleet.config import FleetScenarioConfig
+from repro.fleet.runner import FleetResult, run_fleet
+from repro.fleet.workload import FleetWorkload, build_fleet_workload
+
+__all__ = [
+    "FleetScenarioConfig",
+    "FleetResult",
+    "FleetWorkload",
+    "build_fleet_workload",
+    "run_fleet",
+]

@@ -15,8 +15,7 @@ in any other formula.
 from __future__ import annotations
 
 import math
-from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.units import DAY
@@ -47,7 +46,11 @@ class DelayTracker:
         self._percentile = percentile
         self._max_delay = max_delay
         self._formula = formula
-        self._drop_delays: Deque[float] = deque(maxlen=window)
+        # List-backed ring (oldest at _drop_start once full): cheaper to
+        # allocate than a deque, which matters with one tracker per
+        # fleet binding.
+        self._drop_delays: List[float] = []
+        self._drop_start = 0
         self._publications = 0
         self._drops = 0
 
@@ -75,7 +78,15 @@ class DelayTracker:
         """Record that a rank drop arrived ``delay`` seconds after its
         event was published."""
         self._drops += 1
-        self._drop_delays.append(max(0.0, publication_to_drop_delay))
+        self._push_delay(max(0.0, publication_to_drop_delay))
+
+    def _push_delay(self, delay: float) -> None:
+        if len(self._drop_delays) == self._window:
+            start = self._drop_start
+            self._drop_delays[start] = delay
+            self._drop_start = start + 1 if start + 1 < self._window else 0
+        else:
+            self._drop_delays.append(delay)
 
     def current_delay(self) -> float:
         """Recommended delay before events become prefetchable.
@@ -98,8 +109,31 @@ class DelayTracker:
                            math.ceil(self._percentile * len(ordered)) - 1))
         return min(self._max_delay, ordered[index])
 
+    def merge(self, other: "DelayTracker") -> None:
+        """Fold another tracker's history in after this one's.
+
+        Publication/drop counts add exactly. The drop-delay window keeps
+        the newest ``window`` delays of the concatenation (self's, then
+        ``other``'s), so ``current_delay`` afterwards equals a single
+        tracker that observed both histories in that order. Nearest-rank
+        percentiles over the merged window are exact — the window stores
+        raw delays, not a sketch — but which delays survive depends on
+        the fold order; fold shards in a fixed order for determinism.
+        """
+        self._publications += other._publications
+        self._drops += other._drops
+        other_delays = other._drop_delays
+        if other._drop_start:
+            other_delays = (
+                other_delays[other._drop_start :]
+                + other_delays[: other._drop_start]
+            )
+        for delay in other_delays:
+            self._push_delay(delay)
+
     def reset(self) -> None:
         self._drop_delays.clear()
+        self._drop_start = 0
         self._publications = 0
         self._drops = 0
 

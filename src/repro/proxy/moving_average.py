@@ -11,8 +11,7 @@ calculate a moving average" (§3.2).
 from __future__ import annotations
 
 import math
-from collections import deque
-from typing import Deque, Optional
+from typing import List, Optional
 
 from repro.errors import ConfigurationError
 
@@ -29,13 +28,21 @@ class MovingAverage:
     incremental add/subtract accumulates floating-point drift over
     millions of pushes, and the periodic :func:`math.fsum` rebase bounds
     the error to at most one window's worth of rounding.
+
+    The window is a list-backed ring buffer rather than a deque: a fleet
+    shard allocates several of these per device, and an empty list costs
+    a fraction of a ``deque(maxlen=...)`` (whose ~640-byte block is also
+    large enough to bypass pymalloc and fragment the heap at scale).
     """
+
+    __slots__ = ("_window", "_values", "_start", "_sum", "_evictions")
 
     def __init__(self, window: int = DEFAULT_WINDOW) -> None:
         if window < 1:
             raise ConfigurationError(f"window must be at least 1, got {window}")
         self._window = window
-        self._values: Deque[float] = deque(maxlen=window)
+        self._values: List[float] = []
+        self._start = 0  # index of the oldest observation once full
         self._sum = 0.0
         self._evictions = 0
 
@@ -50,17 +57,20 @@ class MovingAverage:
 
     def push(self, value: float) -> None:
         """Record one observation."""
-        if len(self._values) == self._window:
-            evicted = self._values[0]
-            self._values.append(value)  # deque drops the head itself
+        values = self._values
+        if len(values) == self._window:
+            start = self._start
+            evicted = values[start]
+            values[start] = value
+            self._start = start + 1 if start + 1 < self._window else 0
             self._evictions += 1
             if self._evictions >= self._window:
                 self._evictions = 0
-                self._sum = math.fsum(self._values)
+                self._sum = math.fsum(values)
             else:
                 self._sum += value - evicted
         else:
-            self._values.append(value)
+            values.append(value)
             self._sum += value
 
     @property
@@ -75,8 +85,28 @@ class MovingAverage:
         average = self.value
         return default if average is None else average
 
+    def _ordered(self) -> List[float]:
+        """Window contents, oldest first."""
+        if self._start == 0:
+            return list(self._values)
+        return self._values[self._start :] + self._values[: self._start]
+
+    def merge(self, other: "MovingAverage") -> None:
+        """Fold another average's window in after this one's.
+
+        Cross-shard folding: the result is exactly the state this
+        average would hold had it observed its own values followed by
+        ``other``'s (only the newest ``window`` observations of that
+        concatenation survive, as always). Merging is therefore
+        associative over shard order but not commutative — fold shards
+        in a fixed order to keep results deterministic.
+        """
+        for value in other._ordered():
+            self.push(value)
+
     def reset(self) -> None:
         self._values.clear()
+        self._start = 0
         self._sum = 0.0
         self._evictions = 0
 

@@ -101,10 +101,9 @@ class LastHopProxy:
         self._auditor = auditor
         self._states: Dict[TopicId, TopicState] = {}
         self._buffer = BufferPrefetcher(self._config.policy)
+        #: RATE-policy credit shared by classic ``add_topic`` bindings;
+        #: fleet bindings (``add_binding``) each get their own.
         self._rate = RatePrefetcher(self._config.policy)
-        self._delay_trackers: Dict[TopicId, DelayTracker] = {}
-        #: Events whose retraction has been sent (or queued), per run.
-        self._retracted: Set[EventId] = set()
         self._in_read = False
         #: Crash/restart bookkeeping (fault injection). While crashed
         #: the proxy drops arrivals, serves empty reads, and arms no
@@ -127,7 +126,7 @@ class LastHopProxy:
     @property
     def retracted_count(self) -> int:
         """Retraction-dedup entries currently held (GC-bounded)."""
-        return len(self._retracted)
+        return sum(len(state.retracted) for state in self._states.values())
 
     def add_topic(
         self,
@@ -144,6 +143,61 @@ class LastHopProxy:
         topics) and an urgent-interrupt threshold (notifications at or
         above it are pushed immediately even on an on-demand topic).
         """
+        return self._register(
+            topic,
+            topic_type=topic_type,
+            rank_threshold=rank_threshold,
+            schedule=schedule,
+            transport=self._transport,
+            stats=self._stats,
+            rate=self._rate,
+            tracker=delay_tracker or DelayTracker(),
+        )
+
+    def add_binding(
+        self,
+        topic: TopicId,
+        *,
+        transport: Transport,
+        stats: RunStats,
+        topic_type: TopicType = TopicType.ON_DEMAND,
+        rank_threshold: float = 0.0,
+        delay_tracker: Optional[DelayTracker] = None,
+        schedule: Optional[DeliverySchedule] = None,
+    ) -> TopicState:
+        """Register a (device, topic) binding with its own machinery.
+
+        Fleet mode: one proxy serves thousands of devices, each reached
+        over its own last-hop link and accounted in its own
+        :class:`RunStats`. Every binding also gets a private RATE credit
+        line and delay tracker, so one device's behaviour never bleeds
+        into another's adaptive knobs. A binding registered this way
+        behaves exactly like a one-topic classic proxy whose
+        transport/stats happen to be the ones supplied here.
+        """
+        return self._register(
+            topic,
+            topic_type=topic_type,
+            rank_threshold=rank_threshold,
+            schedule=schedule,
+            transport=transport,
+            stats=stats,
+            rate=RatePrefetcher(self._config.policy),
+            tracker=delay_tracker or DelayTracker(),
+        )
+
+    def _register(
+        self,
+        topic: TopicId,
+        *,
+        topic_type: TopicType,
+        rank_threshold: float,
+        schedule: Optional[DeliverySchedule],
+        transport: Transport,
+        stats: RunStats,
+        rate: RatePrefetcher,
+        tracker: DelayTracker,
+    ) -> TopicState:
         if topic in self._states:
             raise ConfigurationError(f"topic {topic!r} already registered at proxy")
         if schedule is not None:
@@ -156,6 +210,10 @@ class LastHopProxy:
             ma_window=policy.ma_window,
             schedule=schedule,
         )
+        state.transport = transport
+        state.stats = stats
+        state.rate = rate
+        state.tracker = tracker
         state.expiration_threshold = (
             policy.initial_expiration_threshold
             if policy.expiration_threshold is None
@@ -164,7 +222,6 @@ class LastHopProxy:
         state.delay = 0.0 if policy.delay is None else policy.delay
         state.prefetch_limit = self._buffer.effective_limit(state)
         self._states[topic] = state
-        self._delay_trackers[topic] = delay_tracker or DelayTracker()
         return state
 
     def topic_state(self, topic: TopicId) -> TopicState:
@@ -188,12 +245,16 @@ class LastHopProxy:
             self._stats.lost_in_crash += 1
             return
         state = self.topic_state(notification.topic)
+        if state.crashed:
+            # Only this binding's worker is down (fleet fault mode).
+            state.stats.lost_in_crash += 1
+            return
         existing = state.history.get(notification.event_id)
         if existing is not None:
-            self._stats.rank_changes += 1
+            state.stats.rank_changes += 1
             self._handle_rank_change(state, existing, notification)
         else:
-            self._stats.arrivals += 1
+            state.stats.arrivals += 1
             self._handle_new_event(state, notification)
         self.try_forwarding(state)
         if self._auditor is not None:
@@ -203,7 +264,7 @@ class LastHopProxy:
         self, state: TopicState, existing: Notification, update: Notification
     ) -> None:
         """The pseudo-code's first branch: the rank of a known event moved."""
-        tracker = self._delay_trackers[state.topic]
+        tracker = state.tracker
         old_rank = existing.rank
         if update.rank < existing.rank:
             tracker.record_drop(self._sim.now - existing.published_at)
@@ -220,12 +281,12 @@ class LastHopProxy:
             if existing.event_id in state.forwarded:
                 # "tell client of rank drop"
                 outcome = "retracted"
-                if existing.event_id not in self._retracted:
-                    self._retracted.add(existing.event_id)
+                if existing.event_id not in state.retracted:
+                    state.retracted.add(existing.event_id)
                     state.pending_retractions.append(existing.event_id)
             elif was_queued:
                 # "don't bother client"
-                self._stats.dropped_before_forward += 1
+                state.stats.dropped_before_forward += 1
         else:
             # Boost or within-threshold adjustment: re-key the event in
             # whichever queue holds it so ranked selection stays correct.
@@ -241,19 +302,19 @@ class LastHopProxy:
     def _handle_new_event(self, state: TopicState, notification: Notification) -> None:
         """The pseudo-code's main branch: a genuinely new notification."""
         if notification.rank < state.rank_threshold:
-            self._stats.filtered += 1
+            state.stats.filtered += 1
             return
         if notification.is_expired(self._sim.now):
             # Dead on arrival (possible after wide-area routing latency).
-            self._stats.expired_at_proxy += 1
+            state.stats.expired_at_proxy += 1
             if self._recorder is not None:
                 self._recorder.expire_at_proxy(
                     self._sim.now, state.topic, notification.event_id, "arrival"
                 )
             return
-        self._stats.accepted += 1
+        state.stats.accepted += 1
         state.history[notification.event_id] = notification
-        tracker = self._delay_trackers[state.topic]
+        tracker = state.tracker
         tracker.record_publication()
 
         policy = self._config.policy
@@ -290,8 +351,8 @@ class LastHopProxy:
             state.delay = tracker.current_delay()
 
         if policy.kind is PolicyKind.RATE:
-            self._rate.observe_arrival(self._sim.now)
-            for _ in range(self._rate.earn(state)):
+            state.rate.observe_arrival(self._sim.now)
+            for _ in range(state.rate.earn(state)):
                 event = state.prefetch.pop_highest()
                 if event is None:
                     break
@@ -322,7 +383,7 @@ class LastHopProxy:
         queues on the server, making any transfer unnecessary".
         """
         state = self.topic_state(topic)
-        if self._crashed:
+        if self._crashed or state.crashed:
             # The device's READ request times out against a dead proxy;
             # it falls back to its local queue, exactly like an outage.
             return ReadResponse(sent=(), candidates=0)
@@ -331,7 +392,7 @@ class LastHopProxy:
         if n < 0:
             raise ProxyError(f"READ with negative N: {n}")
         now = self._sim.now
-        self._stats.read_requests += 1
+        state.stats.read_requests += 1
         policy = self._config.policy
 
         # Bookkeeping that drives the adaptive knobs.
@@ -350,7 +411,7 @@ class LastHopProxy:
         # and escape the waste accounting.
         for queue in (state.outgoing, state.prefetch, state.holding):
             for stale in queue.prune_expired(now):
-                self._stats.expired_at_proxy += 1
+                state.stats.expired_at_proxy += 1
                 self._forget_event(state, stale.event_id)
                 if self._recorder is not None:
                     self._recorder.expire_at_proxy(
@@ -406,7 +467,10 @@ class LastHopProxy:
             raise ProxyError(f"queue report with negative size: {queue_size}")
         if self._crashed:
             return
-        self.topic_state(topic).queue_size = queue_size
+        state = self.topic_state(topic)
+        if state.crashed:
+            return
+        state.queue_size = queue_size
 
     def on_read_report(
         self, topic: TopicId, reads: Sequence[Tuple[float, int]]
@@ -432,7 +496,7 @@ class LastHopProxy:
         for _time, n in reads:
             if n < 0:
                 raise ProxyError(f"read report with negative N: {n}")
-        if self._crashed:
+        if self._crashed or state.crashed:
             return
         for time, n in sorted(reads, key=lambda entry: entry[0]):
             state.old_reads.push(float(n))
@@ -448,7 +512,7 @@ class LastHopProxy:
     # NETWORK(status)
     # ------------------------------------------------------------------
     def on_network(self, status: NetworkStatus) -> None:
-        """Handle a last-hop link transition."""
+        """Handle a last-hop link transition (all bindings at once)."""
         for state in self._states.values():
             state.network = status
         if self._crashed:
@@ -462,21 +526,39 @@ class LastHopProxy:
             for state in self._states.values():
                 self._auditor.maybe_audit(self._sim, state)
 
+    def on_topic_network(self, topic: TopicId, status: NetworkStatus) -> None:
+        """Handle a link transition on one binding's last hop.
+
+        Fleet mode: each device has its own link with its own outage
+        profile, so transitions arrive per binding rather than
+        proxy-wide. Semantics match :meth:`on_network` restricted to
+        one topic (status is tracked even while crashed; forwarding
+        resumes only on UP; the auditor sees both edges).
+        """
+        state = self.topic_state(topic)
+        state.network = status
+        if self._crashed or state.crashed:
+            return
+        if status is NetworkStatus.UP:
+            self.try_forwarding(state)
+        if self._auditor is not None:
+            self._auditor.maybe_audit(self._sim, state)
+
     # ------------------------------------------------------------------
     # try_forwarding()
     # ------------------------------------------------------------------
     def try_forwarding(self, state: TopicState) -> None:
         """Flush the outgoing queue, then prefetch into spare client room."""
-        if self._crashed or state.network is not NetworkStatus.UP:
+        if self._crashed or state.crashed or state.network is not NetworkStatus.UP:
             return
         now = self._sim.now
 
         # Rank-drop retractions ride the same link as soon as it is up,
         # in the order the drops arrived (FIFO).
         while state.pending_retractions:
-            event_id = state.pending_retractions.popleft()
-            self._transport.retract(event_id)
-            self._stats.retractions_sent += 1
+            event_id = state.pending_retractions.pop(0)
+            state.transport.retract(event_id)
+            state.stats.retractions_sent += 1
             if self._recorder is not None:
                 self._recorder.retract(now, state.topic, event_id)
 
@@ -486,7 +568,7 @@ class LastHopProxy:
             if event is None:
                 break
             if event.is_expired(now):
-                self._stats.expired_at_proxy += 1
+                state.stats.expired_at_proxy += 1
                 self._forget_event(state, event.event_id)
                 if self._recorder is not None:
                     self._recorder.expire_at_proxy(
@@ -514,7 +596,7 @@ class LastHopProxy:
             if event is None:
                 break
             if event.is_expired(now):
-                self._stats.expired_at_proxy += 1
+                state.stats.expired_at_proxy += 1
                 self._forget_event(state, event.event_id)
                 if self._recorder is not None:
                     self._recorder.expire_at_proxy(
@@ -583,10 +665,10 @@ class LastHopProxy:
     def _do_forward(self, state: TopicState, event: Notification) -> None:
         """``do_forward(event)`` — ship one notification downlink."""
         mode = DeliveryMode.PULLED if self._in_read else DeliveryMode.PUSHED
-        self._transport.deliver(event, mode)
+        state.transport.deliver(event, mode)
         state.queue_size += 1
         state.forwarded.add(event.event_id)
-        self._stats.record_forward(event.event_id, event.size_bytes, mode)
+        state.stats.record_forward(event.event_id, event.size_bytes, mode)
         if self._recorder is not None:
             self._recorder.forward(
                 self._sim.now, state.topic, event.event_id, mode.name,
@@ -609,7 +691,7 @@ class LastHopProxy:
             delay_handle.cancel()
             removed = True
         if removed:
-            self._stats.expired_at_proxy += 1
+            state.stats.expired_at_proxy += 1
             if self._recorder is not None:
                 self._recorder.expire_at_proxy(
                     self._sim.now, state.topic, event.event_id, "timer"
@@ -663,16 +745,7 @@ class LastHopProxy:
         self._crashed_at = self._sim.now
         self._stats.proxy_crashes += 1
         for state in self._states.values():
-            for handle in state.expiration_handles.values():
-                handle.cancel()
-            state.expiration_handles.clear()
-            for handle in state.delay_handles.values():
-                handle.cancel()
-            state.delay_handles.clear()
-            if state.quiet_wakeup is not None:
-                state.quiet_wakeup.cancel()
-                state.quiet_wakeup = None
-            state.pending_retractions.clear()
+            self._teardown_volatile(state)
         if self._recorder is not None:
             self._recorder.crash(self._sim.now)
         if restart_delay > 0:
@@ -704,56 +777,10 @@ class LastHopProxy:
         if not self._crashed:
             raise ProxyError("restart called on a proxy that is not down")
         now = self._sim.now
-        policy = self._config.policy
         requeued = 0
-        for topic, old in list(self._states.items()):
-            state = TopicState(
-                topic=topic,
-                topic_type=old.topic_type,
-                rank_threshold=old.rank_threshold,
-                ma_window=policy.ma_window,
-                schedule=old.schedule,
-            )
-            state.expiration_threshold = (
-                policy.initial_expiration_threshold
-                if policy.expiration_threshold is None
-                else policy.expiration_threshold
-            )
-            state.delay = 0.0 if policy.delay is None else policy.delay
-            # Durable storage survives the crash: history + forwarded.
-            state.history = old.history
-            state.forwarded = old.forwarded
-            state.network = old.network
-            self._states[topic] = state
-            self._delay_trackers[topic] = DelayTracker()
-            online = (
-                state.topic_type is TopicType.ONLINE
-                or policy.kind is PolicyKind.ONLINE
-            )
-            # History is an insertion-ordered dict (acceptance order),
-            # so recovery re-enqueues deterministically.
-            for event in old.history.values():
-                if event.event_id in state.forwarded:
-                    continue
-                if event.rank < state.rank_threshold:
-                    continue
-                if event.is_expired(now):
-                    continue
-                requeued += 1
-                lifetime = event.remaining_lifetime(now)
-                if lifetime is not None:
-                    self._schedule_expiration(state, event)
-                if online or (
-                    state.schedule is not None
-                    and state.schedule.is_urgent(event.rank)
-                ):
-                    state.outgoing.add(event)
-                elif lifetime is not None and lifetime < state.expiration_threshold:
-                    state.holding.add(event)
-                else:
-                    state.prefetch.add(event)
-            state.prefetch_limit = self._buffer.effective_limit(state)
-        self._retracted = set()
+        for old in list(self._states.values()):
+            _state, count = self._rebuild_state(old)
+            requeued += count
         self._crashed = False
         downtime = now - self._crashed_at
         self._stats.crash_downtime += downtime
@@ -763,6 +790,128 @@ class LastHopProxy:
             self.try_forwarding(state)
             if self._auditor is not None:
                 self._auditor.maybe_audit(self._sim, state)
+
+    # -- per-binding fail-stop (fleet fault injection) ------------------
+    def crash_topic(self, topic: TopicId, restart_delay: float = 0.0) -> None:
+        """Crash one binding's worker while the rest of the fleet runs.
+
+        Semantics mirror :meth:`crash` scoped to a single binding: its
+        timers and in-flight volatile state are torn down, arrivals for
+        the topic are lost and its reads come back empty until
+        :meth:`restart_topic` rebuilds it from the durable history.
+        """
+        state = self.topic_state(topic)
+        if state.crashed:
+            raise ProxyError("proxy crashed while already down")
+        if restart_delay < 0:
+            raise ConfigurationError(
+                f"restart_delay must be non-negative, got {restart_delay}"
+            )
+        state.crashed = True
+        state.crashed_at = self._sim.now
+        state.stats.proxy_crashes += 1
+        self._teardown_volatile(state)
+        if self._recorder is not None:
+            self._recorder.crash(self._sim.now)
+        if restart_delay > 0:
+            self._sim.schedule(restart_delay, self.restart_topic, topic)
+        else:
+            self.restart_topic(topic)
+
+    def crash_restart_topic(self, topic: TopicId, restart_delay: float = 0.0) -> None:
+        """Per-binding :meth:`crash_restart`: absorbed if already down."""
+        if self.topic_state(topic).crashed:
+            return
+        self.crash_topic(topic, restart_delay)
+
+    def restart_topic(self, topic: TopicId) -> None:
+        """Rebuild one binding's volatile state after :meth:`crash_topic`."""
+        old = self.topic_state(topic)
+        if not old.crashed:
+            raise ProxyError("restart called on a proxy that is not down")
+        now = self._sim.now
+        state, requeued = self._rebuild_state(old)
+        state.stats.crash_downtime += now - old.crashed_at
+        if self._recorder is not None:
+            self._recorder.recover(now, now - old.crashed_at, requeued)
+        self.try_forwarding(state)
+        if self._auditor is not None:
+            self._auditor.maybe_audit(self._sim, state)
+
+    def _teardown_volatile(self, state: TopicState) -> None:
+        """Cancel a binding's timers and drop its in-flight state."""
+        for handle in state.expiration_handles.values():
+            handle.cancel()
+        state.expiration_handles.clear()
+        for handle in state.delay_handles.values():
+            handle.cancel()
+        state.delay_handles.clear()
+        if state.quiet_wakeup is not None:
+            state.quiet_wakeup.cancel()
+            state.quiet_wakeup = None
+        state.pending_retractions.clear()
+
+    def _rebuild_state(self, old: TopicState) -> Tuple[TopicState, int]:
+        """Replace one binding's state from its durable history.
+
+        Every retained event that is unforwarded, unexpired, and still
+        above the rank threshold is re-classified exactly like a new
+        arrival (minus the rank-instability delay stage, whose tracker
+        died with the worker) and its expiration timer re-armed; history
+        iterates in insertion (acceptance) order, so recovery re-enqueues
+        deterministically. Returns the fresh state and requeue count.
+        """
+        policy = self._config.policy
+        state = TopicState(
+            topic=old.topic,
+            topic_type=old.topic_type,
+            rank_threshold=old.rank_threshold,
+            ma_window=policy.ma_window,
+            schedule=old.schedule,
+        )
+        state.transport = old.transport
+        state.stats = old.stats
+        state.rate = old.rate
+        state.tracker = DelayTracker()
+        state.expiration_threshold = (
+            policy.initial_expiration_threshold
+            if policy.expiration_threshold is None
+            else policy.expiration_threshold
+        )
+        state.delay = 0.0 if policy.delay is None else policy.delay
+        # Durable storage survives the crash: history + forwarded.
+        state.history = old.history
+        state.forwarded = old.forwarded
+        state.network = old.network
+        self._states[old.topic] = state
+        requeued = 0
+        now = self._sim.now
+        online = (
+            state.topic_type is TopicType.ONLINE
+            or policy.kind is PolicyKind.ONLINE
+        )
+        for event in old.history.values():
+            if event.event_id in state.forwarded:
+                continue
+            if event.rank < state.rank_threshold:
+                continue
+            if event.is_expired(now):
+                continue
+            requeued += 1
+            lifetime = event.remaining_lifetime(now)
+            if lifetime is not None:
+                self._schedule_expiration(state, event)
+            if online or (
+                state.schedule is not None
+                and state.schedule.is_urgent(event.rank)
+            ):
+                state.outgoing.add(event)
+            elif lifetime is not None and lifetime < state.expiration_threshold:
+                state.holding.add(event)
+            else:
+                state.prefetch.add(event)
+        state.prefetch_limit = self._buffer.effective_limit(state)
+        return state, requeued
 
     # ------------------------------------------------------------------
     # Garbage collection (the paper notes it omitted this)
@@ -780,8 +929,11 @@ class LastHopProxy:
             return 0
         reclaimed = 0
         now = self._sim.now
-        retracted = self._retracted
         for state in self._states.values():
+            if state.crashed:
+                # Same contract as the whole-proxy check, per binding.
+                continue
+            retracted = state.retracted
             for queue in (state.outgoing, state.prefetch, state.holding):
                 # Queues self-compact on mutation past the same threshold
                 # (RankedQueue.compact_if_stale); this sweep only mops up

@@ -209,8 +209,8 @@ class ReplicatedProxy:
 
     def _apply_retraction(self, event_id: EventId) -> None:
         """Mark a retraction as already delivered to the device."""
-        self._backup._retracted.add(event_id)
         for state in self._backup._states.values():
+            state.retracted.add(event_id)
             if event_id in state.pending_retractions:
                 state.pending_retractions.remove(event_id)
 

@@ -9,8 +9,7 @@ network status.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.broker.message import Notification
 from repro.proxy.moving_average import IntervalAverage, MovingAverage
@@ -51,6 +50,17 @@ class TopicState:
         "expiration_handles",
         "delay_handles",
         "pending_retractions",
+        # Per-binding machinery (fleet mode: one proxy, many devices).
+        # The proxy wires these at registration; for the classic
+        # one-device proxy they all alias the proxy-wide instances, so
+        # single-device behaviour is unchanged by construction.
+        "transport",
+        "stats",
+        "tracker",
+        "rate",
+        "retracted",
+        "crashed",
+        "crashed_at",
     )
 
     def __init__(
@@ -105,7 +115,26 @@ class TopicState:
         self.delay_handles: Dict[EventId, EventHandle] = {}
         #: Rank-drop retractions waiting for the link to come back up,
         #: sent FIFO so the device sees drops in the order they happened.
-        self.pending_retractions: Deque[EventId] = deque()
+        #: A plain list (drained from the front): the queue only holds
+        #: entries while the link is down, so it stays short, and a list
+        #: is far cheaper to allocate than a deque — which matters with
+        #: one state per fleet binding.
+        self.pending_retractions: List[EventId] = []
+
+        # Per-binding machinery, wired by LastHopProxy at registration
+        # (None only between construction and registration).
+        self.transport = None          #: downlink to this binding's device
+        self.stats = None              #: this binding's RunStats
+        self.tracker = None            #: this binding's DelayTracker
+        self.rate = None               #: RATE-policy credit state
+        #: Events whose retraction has been sent (or queued), per run.
+        #: Event ids never span topics, so a per-binding set dedups
+        #: exactly like the old proxy-wide one.
+        self.retracted: set = set()
+        #: Fail-stop state for *this binding* (fleet fault injection);
+        #: the proxy also keeps a whole-process crashed flag.
+        self.crashed = False
+        self.crashed_at = 0.0
 
     # ------------------------------------------------------------------
     @property

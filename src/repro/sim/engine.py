@@ -263,25 +263,70 @@ class Simulator:
                 raise SimulationError(
                     f"cannot run until t={until:.3f}, clock already at t={self._now:.3f}"
                 )
+            # Hot loop: locals for the heap, heappop/heappush and
+            # isfinite save a global/attribute lookup per event, which
+            # is measurable at fleet scale (millions of events per run).
             heap = self._heap
+            heappop = heapq.heappop
+            heappush = heapq.heappush
+            isfinite = math.isfinite
             while heap:
                 event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(heap)
+                    heappop(heap)
                     continue
-                if until is not None and event.time > until:
+                time = event.time
+                if until is not None and time > until:
                     break
-                heapq.heappop(heap)
+                heappop(heap)
                 # Capture before advancing: the stream cursor entry is
-                # reused, so _advance_stream overwrites these fields.
-                time, callback, args = event.time, event.callback, event.args
+                # reused, so advancing overwrites these fields.
+                callback, args = event.callback, event.args
                 self._now = time
                 self._events_processed += 1
                 callback(*args)
+                stream = event.stream
+                if stream is None:
+                    continue
                 # Advance after firing so a malformed item N+1 (unsorted
                 # or non-finite) surfaces only once the valid prefix ran.
-                if event.stream is not None:
-                    self._advance_stream(event.stream)
+                # Runs of same-timestamp stream items fire directly: the
+                # stream's seq block is contiguous, so after item i (seq
+                # base+i) fires at time t every other heap entry at t has
+                # seq > base+i and no seq lies between base+i and
+                # base+i+1 — item i+1 at time t is the global minimum and
+                # the heap round-trip is pure overhead. Dynamic events a
+                # callback schedules at t get seq >= _seq_next > the
+                # block end, so they still fire after the whole run.
+                items = stream.items
+                size = len(items)
+                pos = stream.pos
+                while pos < size:
+                    next_time, callback, args = items[pos]
+                    if not isfinite(next_time):
+                        raise SimulationError(
+                            f"stream item {pos} has non-finite time {next_time!r}"
+                        )
+                    if next_time < time:
+                        raise SimulationError(
+                            f"stream item {pos} at t={next_time:.3f} precedes "
+                            f"item {pos - 1} at t={time:.3f}; streams must be "
+                            f"pre-sorted"
+                        )
+                    if next_time > time:
+                        # Hand the cursor back to the heap for lazy merge.
+                        event.time = next_time
+                        event.seq = stream.base + pos
+                        event.callback = callback
+                        event.args = args
+                        stream.pos = pos + 1
+                        self._stream_backlog -= 1
+                        heappush(heap, event)
+                        break
+                    stream.pos = pos = pos + 1
+                    self._stream_backlog -= 1
+                    self._events_processed += 1
+                    callback(*args)
             if until is not None:
                 self._now = max(self._now, until)
         finally:

@@ -1,0 +1,75 @@
+"""Fleet fault injection: per-device plans from derived seeds.
+
+A fleet ``--faults`` spec applies to every device, but each device
+realizes its *own* plan, seeded ``derive_seed(campaign_seed,
+"device-<global id>")`` — so plans are independent across devices yet a
+pure function of the campaign config, and a device's plan does not
+depend on which shard runs it.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.faults import PRESETS, FaultPlan
+from repro.fleet import FleetScenarioConfig, build_fleet_workload, run_fleet
+from repro.proxy.policies import PolicyConfig
+from repro.sim.rng import derive_seed
+from repro.units import DAY
+
+
+class TestOneDeviceFaultDifferential:
+    @pytest.mark.parametrize("preset", ["lossy", "chaos"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_matches_run_scenario_under_faults(self, preset, seed):
+        """Same derived seed -> same plan -> bit-identical metrics."""
+        spec = PRESETS[preset]
+        config = FleetScenarioConfig(devices=1, duration=2 * DAY, seed=seed)
+        workload = build_fleet_workload(config)
+        policy = PolicyConfig.unified()
+
+        fleet = run_fleet(config, policy, faults=spec)
+        single = run_scenario(workload.device_trace(0), policy, faults=spec)
+
+        acc, stats = fleet.accumulator, single.stats
+        assert acc.forwarded == stats.forwarded
+        assert acc.messages_read == stats.messages_read
+        assert acc.counters["delivery_drops"] == stats.delivery_drops
+        assert acc.counters["duplicates_delivered"] == stats.duplicates_delivered
+        assert acc.counters["proxy_crashes"] == stats.proxy_crashes
+        assert acc.counters["lost_in_crash"] == stats.lost_in_crash
+        assert acc.counters["read_delay_sum"] == stats.read_delay_sum
+        assert acc.events_processed == single.events_processed
+
+
+class TestPerDevicePlans:
+    def test_plans_differ_across_devices(self):
+        spec = PRESETS["chaos"]
+        plans = [
+            FaultPlan.build(
+                spec, seed=derive_seed(0, f"device-{d}"), duration=7 * DAY
+            )
+            for d in range(4)
+        ]
+        crash_times = [tuple(plan.crash_times) for plan in plans]
+        assert len(set(crash_times)) > 1
+
+    def test_device_seed_follows_global_id(self):
+        """The trace a shard hands device d carries d's derived seed."""
+        config = FleetScenarioConfig(devices=10, duration=DAY, seed=5)
+        workload = build_fleet_workload(config)
+        piece = workload.shard(6, 9)
+        assert piece.device_trace(0).metadata["seed"] == derive_seed(5, "device-6")
+        assert piece.device_trace(2).metadata["seed"] == derive_seed(5, "device-8")
+
+    def test_faults_change_fleet_outcome(self):
+        config = FleetScenarioConfig(devices=15, duration=DAY, seed=2)
+        clean = run_fleet(config, PolicyConfig.unified())
+        lossy = run_fleet(config, PolicyConfig.unified(), faults=PRESETS["lossy"])
+        assert clean.accumulator.counters["delivery_drops"] == 0
+        assert lossy.accumulator.counters["delivery_drops"] > 0
+
+    def test_null_spec_is_identity(self):
+        config = FleetScenarioConfig(devices=6, duration=DAY, seed=1)
+        plain = run_fleet(config, PolicyConfig.unified())
+        none = run_fleet(config, PolicyConfig.unified(), faults=PRESETS["none"])
+        assert plain.accumulator.signature() == none.accumulator.signature()

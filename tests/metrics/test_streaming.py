@@ -1,0 +1,220 @@
+"""Streaming accumulators: moments, quantile sketch, fleet fold.
+
+The sketch's merge is exact (integer bin counts over a shared grid), so
+the *only* approximation in fleet percentiles is the binning itself.
+``TestQuantileSketchErrorBound`` pins that bound — nearest-rank
+percentile error at most ``bin_width / 2`` for in-range values,
+independent of how many sketches were merged.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.accounting import RunStats
+from repro.metrics.streaming import (
+    FleetAccumulator,
+    QuantileSketch,
+    SketchedStats,
+    StreamingMoments,
+)
+
+
+class TestStreamingMoments:
+    def test_tracks_basic_statistics(self):
+        m = StreamingMoments()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            m.push(v)
+        assert m.count == 4
+        assert m.sum == 10.0
+        assert m.minimum == 1.0
+        assert m.maximum == 4.0
+        assert m.mean == pytest.approx(2.5)
+        assert m.variance == pytest.approx(1.25)
+
+    def test_empty_moments_are_zero(self):
+        m = StreamingMoments()
+        assert m.count == 0
+        assert m.mean == 0.0
+        assert m.variance == 0.0
+
+    def test_merge_matches_single_stream(self):
+        rng = random.Random(1)
+        values = [rng.gauss(50.0, 12.0) for _ in range(500)]
+        whole = StreamingMoments()
+        for v in values:
+            whole.push(v)
+        parts = [StreamingMoments() for _ in range(4)]
+        for i, v in enumerate(values):
+            parts[i % 4].push(v)
+        merged = StreamingMoments()
+        for part in parts:
+            merged.merge(part)
+        assert merged.count == whole.count
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-9)
+        assert merged.variance == pytest.approx(whole.variance, rel=1e-9)
+
+    def test_merge_into_empty_copies(self):
+        donor = StreamingMoments()
+        donor.push(3.0)
+        donor.push(5.0)
+        empty = StreamingMoments()
+        empty.merge(donor)
+        assert empty.count == 2
+        assert empty.mean == pytest.approx(4.0)
+
+
+class TestQuantileSketch:
+    def test_merge_is_exact(self):
+        """Merged bins == bins of the concatenated stream, any split."""
+        rng = random.Random(2)
+        values = [rng.uniform(0.0, 2000.0) for _ in range(1000)]
+        whole = QuantileSketch(upper=1000.0, bins=64)
+        for v in values:
+            whole.push(v)
+        parts = [QuantileSketch(upper=1000.0, bins=64) for _ in range(7)]
+        for i, v in enumerate(values):
+            parts[i % 7].push(v)
+        merged = QuantileSketch(upper=1000.0, bins=64)
+        for part in parts:
+            merged.merge(part)
+        assert merged._counts == whole._counts
+        assert merged.count == whole.count
+        for p in (0.5, 0.9, 0.95, 0.99, 1.0):
+            assert merged.percentile(p) == whole.percentile(p)
+
+    def test_refuses_mismatched_grids(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(upper=10.0, bins=4).merge(
+                QuantileSketch(upper=10.0, bins=8)
+            )
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(upper=10.0, bins=4).merge(
+                QuantileSketch(upper=20.0, bins=4)
+            )
+
+    def test_overflow_clamps_to_upper(self):
+        sketch = QuantileSketch(upper=100.0, bins=10)
+        sketch.push(5000.0)
+        assert sketch.percentile(1.0) == 100.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(upper=0.0)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(bins=0)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch().percentile(0.0)
+
+    def test_empty_percentile_is_zero(self):
+        assert QuantileSketch().percentile(0.5) == 0.0
+
+
+class TestQuantileSketchErrorBound:
+    """Pin the documented approximation bound of sketched percentiles."""
+
+    @pytest.mark.parametrize("pieces", [1, 3, 8])
+    def test_error_at_most_half_bin_width(self, pieces):
+        """|sketched - exact nearest-rank| <= bin_width / 2 for in-range
+        values, no matter how many sketches the data was split across."""
+        rng = random.Random(3)
+        upper, bins = 1000.0, 128
+        values = [rng.uniform(0.0, upper * 0.999) for _ in range(2000)]
+        sketches = [QuantileSketch(upper=upper, bins=bins) for _ in range(pieces)]
+        for i, v in enumerate(values):
+            sketches[i % pieces].push(v)
+        merged = sketches[0]
+        for other in sketches[1:]:
+            merged.merge(other)
+        ordered = sorted(values)
+        bound = merged.bin_width / 2
+        assert bound == upper / bins / 2
+        for p in (0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0):
+            exact = ordered[max(1, math.ceil(p * len(ordered))) - 1]
+            assert abs(merged.percentile(p) - exact) <= bound, p
+
+    def test_bound_is_tight(self):
+        """Values at bin edges realize (almost) the full half-width
+        error, so the bound cannot be quietly tightened."""
+        sketch = QuantileSketch(upper=100.0, bins=10)
+        sketch.push(0.0)  # midpoint of [0, 10) reports as 5.0
+        assert sketch.percentile(1.0) == pytest.approx(5.0)
+        assert abs(sketch.percentile(1.0) - 0.0) == pytest.approx(
+            sketch.bin_width / 2
+        )
+
+
+class TestSketchedStats:
+    def test_reads_feed_shared_sketches(self):
+        sketch = QuantileSketch(upper=100.0, bins=10)
+        moments = StreamingMoments()
+        stats = SketchedStats(delay_sketch=sketch, delay_moments=moments)
+        stats.record_read("e1", 12.0)
+        stats.record_read("e2", 30.0)
+        assert stats.messages_read == 2
+        assert sketch.count == 2
+        assert moments.count == 2
+        assert moments.sum == pytest.approx(42.0)
+
+    def test_without_sketches_behaves_like_runstats(self):
+        stats = SketchedStats()
+        stats.record_read("e1", 5.0)
+        assert stats.messages_read == 1
+        assert stats.read_delay_sum == 5.0
+
+
+class TestFleetAccumulator:
+    def _device(self, reads, forwards):
+        from repro.types import DeliveryMode
+
+        stats = RunStats()
+        for i in range(forwards):
+            stats.record_forward(f"f{i}", 100, DeliveryMode.PUSHED)
+        for i in range(reads):
+            stats.record_read(f"f{i}", float(i))
+        return stats
+
+    def test_add_device_folds_counters(self):
+        acc = FleetAccumulator()
+        acc.add_device(self._device(reads=2, forwards=3), final_proxy_queued=1)
+        acc.add_device(self._device(reads=1, forwards=2), final_device_queued=4)
+        assert acc.devices == 2
+        assert acc.forwarded == 5
+        assert acc.messages_read == 3
+        assert acc.wasted == 2
+        assert acc.final_proxy_queued == 1
+        assert acc.final_device_queued == 4
+        assert acc.counters["bytes_sent"] == 500
+        assert acc.device_reads.count == 2
+
+    def test_merge_equals_single_accumulator(self):
+        devices = [self._device(reads=r, forwards=r + 1) for r in range(6)]
+        whole = FleetAccumulator()
+        for stats in devices:
+            whole.add_device(stats)
+        left, right = FleetAccumulator(), FleetAccumulator()
+        for stats in devices[:4]:
+            left.add_device(stats)
+        for stats in devices[4:]:
+            right.add_device(stats)
+        left.merge(right)
+        assert left.signature() == whole.signature()
+        assert left.device_reads.mean == pytest.approx(whole.device_reads.mean)
+
+    def test_waste_fraction(self):
+        acc = FleetAccumulator()
+        acc.add_device(self._device(reads=1, forwards=4))
+        assert acc.waste == pytest.approx(0.75)
+        assert FleetAccumulator().waste == 0.0
+
+    def test_describe_renders_fault_lines_only_when_present(self):
+        acc = FleetAccumulator()
+        acc.add_device(self._device(reads=1, forwards=1))
+        assert "delivery drops" not in acc.describe()
+        acc.counters["delivery_drops"] = 3
+        acc.counters["delivery_retries"] = 3
+        assert "delivery drops" in acc.describe()

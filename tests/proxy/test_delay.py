@@ -123,3 +123,48 @@ class TestPercentileBoundaries:
     def test_three_samples_high_percentile_is_max(self, percentile):
         tracker = self._tracker(percentile, [30.0, 10.0, 20.0])
         assert tracker.current_delay() == pytest.approx(30.0)
+
+
+class TestMerge:
+    def test_counts_add_exactly(self):
+        left, right = DelayTracker(), DelayTracker()
+        for _ in range(10):
+            left.record_publication()
+        left.record_drop(100.0)
+        for _ in range(5):
+            right.record_publication()
+        right.record_drop(200.0)
+        right.record_drop(300.0)
+        left.merge(right)
+        assert left.publications == 15
+        assert left.drops == 3
+        assert left.drop_fraction == pytest.approx(0.2)
+
+    def test_merged_percentile_equals_sequential_history(self):
+        """Post-merge current_delay == one tracker that saw both
+        histories in order; the window keeps raw delays, so the
+        nearest-rank percentile over the survivors is exact."""
+        window = 4
+        left = DelayTracker(window=window, percentile=0.5)
+        right = DelayTracker(window=window, percentile=0.5)
+        sequential = DelayTracker(window=window, percentile=0.5)
+        for d in (10.0, 20.0, 30.0):
+            left.record_drop(d)
+            sequential.record_drop(d)
+        for d in (40.0, 50.0, 60.0):
+            right.record_drop(d)
+            sequential.record_drop(d)
+        left.merge(right)
+        assert left.current_delay() == sequential.current_delay()
+
+    def test_merge_respects_donor_ring_rotation(self):
+        """A donor whose ring has wrapped contributes oldest-first."""
+        donor = DelayTracker(window=2, percentile=1.0)
+        for d in (1.0, 2.0, 3.0):  # ring wraps; survivors [2, 3]
+            donor.record_drop(d)
+        target = DelayTracker(window=3, percentile=1.0)
+        target.record_drop(9.0)
+        target.merge(donor)
+        # Window is [9, 2, 3]; one more drop must evict 9 (the oldest).
+        target.record_drop(1.0)
+        assert target.current_delay() == 3.0

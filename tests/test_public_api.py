@@ -46,6 +46,7 @@ class TestSurface:
         import repro.context  # noqa: F401
         import repro.device  # noqa: F401
         import repro.experiments  # noqa: F401
+        import repro.fleet  # noqa: F401
         import repro.metrics  # noqa: F401
         import repro.proxy  # noqa: F401
         import repro.sim  # noqa: F401

@@ -1,0 +1,117 @@
+"""Unit tests for ``scripts/bench_compare.py``.
+
+The gate must stay permissive about benchmark *existence*: keys present
+on only one side (a new benchmark landing, or an old one retired) are
+reported but never fail CI — otherwise every PR that adds a benchmark
+would first have to regenerate the committed baseline in the same
+commit, defeating the point of a committed trajectory.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def _bench(minimum):
+    return {"group": "micro", "min": minimum, "mean": minimum * 1.1}
+
+
+def _write(path, benchmarks):
+    path.write_text(json.dumps({"benchmarks": benchmarks}), encoding="utf-8")
+
+
+class TestCompare:
+    def test_no_regression_passes(self):
+        regressions, report = bench_compare.compare(
+            {"a": _bench(1.0)}, {"a": _bench(1.1)}, metric="min", max_regression=0.25
+        )
+        assert regressions == 0
+        assert "ok" in report
+
+    def test_regression_beyond_threshold_fails(self):
+        regressions, report = bench_compare.compare(
+            {"a": _bench(1.0)}, {"a": _bench(1.5)}, metric="min", max_regression=0.25
+        )
+        assert regressions == 1
+        assert "REGRESSION" in report
+
+    def test_improvement_is_flagged_not_failed(self):
+        regressions, report = bench_compare.compare(
+            {"a": _bench(1.0)}, {"a": _bench(0.5)}, metric="min", max_regression=0.25
+        )
+        assert regressions == 0
+        assert "improved" in report
+
+    def test_new_benchmark_never_fails(self):
+        """A key only in the current file (e.g. a freshly added fleet
+        bench) is reported as new and exempt from the gate."""
+        regressions, report = bench_compare.compare(
+            {"a": _bench(1.0)},
+            {"a": _bench(1.0), "fleet[100000]": _bench(20.0)},
+            metric="min",
+            max_regression=0.25,
+        )
+        assert regressions == 0
+        assert "new" in report
+        assert "fleet[100000]" in report
+
+    def test_missing_benchmark_never_fails(self):
+        regressions, report = bench_compare.compare(
+            {"a": _bench(1.0), "retired": _bench(9.0)},
+            {"a": _bench(1.0)},
+            metric="min",
+            max_regression=0.25,
+        )
+        assert regressions == 0
+        assert "missing" in report
+
+    def test_unusable_metric_is_skipped(self):
+        regressions, report = bench_compare.compare(
+            {"a": {"group": "micro"}}, {"a": _bench(1.0)},
+            metric="min", max_regression=0.25,
+        )
+        assert regressions == 0
+        assert "SKIP" in report
+
+
+class TestMain:
+    def test_exit_zero_without_regressions(self, tmp_path, capsys):
+        baseline, current = tmp_path / "base.json", tmp_path / "curr.json"
+        _write(baseline, {"a": _bench(1.0)})
+        _write(current, {"a": _bench(1.0), "brand-new": _bench(5.0)})
+        assert bench_compare.main([str(baseline), str(current)]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        baseline, current = tmp_path / "base.json", tmp_path / "curr.json"
+        _write(baseline, {"a": _bench(1.0)})
+        _write(current, {"a": _bench(2.0)})
+        assert bench_compare.main([str(baseline), str(current)]) == 1
+
+    def test_threshold_flag_is_honoured(self, tmp_path):
+        baseline, current = tmp_path / "base.json", tmp_path / "curr.json"
+        _write(baseline, {"a": _bench(1.0)})
+        _write(current, {"a": _bench(1.5)})
+        assert bench_compare.main(
+            [str(baseline), str(current), "--max-regression", "0.6"]
+        ) == 0
+
+    def test_missing_file_exits_with_message(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        _write(baseline, {"a": _bench(1.0)})
+        with pytest.raises(SystemExit):
+            bench_compare.main([str(baseline), str(tmp_path / "nope.json")])
+
+    def test_empty_benchmarks_rejected(self, tmp_path):
+        baseline, current = tmp_path / "base.json", tmp_path / "curr.json"
+        _write(baseline, {"a": _bench(1.0)})
+        current.write_text(json.dumps({"benchmarks": {}}), encoding="utf-8")
+        with pytest.raises(SystemExit):
+            bench_compare.main([str(baseline), str(current)])
