@@ -52,9 +52,13 @@ def _run_fleet_shard(devices: int):
 @pytest.mark.benchmark(group="fleet")
 @pytest.mark.parametrize("devices", [1_000, 10_000, 100_000])
 def test_bench_fleet_shard(benchmark, devices):
-    """One shard end-to-end: generate, wire, replay, fold."""
-    rounds = 2 if devices <= 10_000 else 1
-    acc = benchmark.pedantic(_run_fleet_shard, args=(devices,), rounds=rounds,
+    """One shard end-to-end: generate, wire, replay, fold.
+
+    Two rounds at every size — a single round records a zero stddev in
+    the committed baseline, which tells ``bench_compare`` nothing about
+    run-to-run spread at exactly the size where noise matters most.
+    """
+    acc = benchmark.pedantic(_run_fleet_shard, args=(devices,), rounds=2,
                              iterations=1)
     assert acc.devices == devices
     assert acc.forwarded > devices  # every fleet actually delivered
@@ -65,6 +69,28 @@ def test_bench_fleet_shard(benchmark, devices):
     # this suite guards: GC rescans, allocator fragmentation, per-device
     # streams in the engine heap) blows past it at 100k devices.
     assert benchmark.stats.stats.min / devices < 1e-3
+
+
+@pytest.mark.benchmark(group="fleet")
+@pytest.mark.parametrize("dispatch", ["batch", "scalar"])
+def test_bench_fleet_dispatch_micro(benchmark, dispatch):
+    """Event dispatch in isolation: replay a prebuilt 2k-device shard.
+
+    The workload is generated once outside the timed region, so this
+    micro benchmark moves with the dispatch machinery alone — wiring,
+    stream registration, the pump (or the scalar callback path), and
+    the fold — and pins the batched path's advantage over the scalar
+    oracle. Runs both modes so a regression in either is caught by the
+    baseline gate even though the fleet default is ``batch``.
+    """
+    workload = build_fleet_workload(_fleet_config(2_000))
+    use_batch = dispatch == "batch"
+    acc = benchmark.pedantic(
+        _execute_shard, args=(workload, PolicyConfig.unified()),
+        kwargs=dict(use_batch=use_batch), rounds=3, iterations=1,
+    )
+    assert acc.devices == 2_000
+    assert acc.forwarded > 2_000
 
 
 @pytest.mark.benchmark(group="fleet")

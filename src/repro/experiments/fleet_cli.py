@@ -16,7 +16,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
+import pstats
 import sys
 import time
 from pathlib import Path
@@ -30,6 +32,12 @@ from repro.units import DAY
 from repro.workload.arrivals import ArrivalConfig
 from repro.workload.outages import OutageConfig
 from repro.workload.reads import ReadConfig
+
+#: Sentinel for bare ``--profile`` (summary to stderr, no stats file).
+_PROFILE_STDERR = Path("-")
+
+#: Functions shown in the ``--profile`` cumulative-time summary.
+_PROFILE_TOP_N = 25
 
 #: ``--policy`` choices -> PolicyConfig constructors.
 POLICIES = {
@@ -81,8 +89,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "audit proxy invariants every N transitions "
                             "(bare --audit audits every one)"
                         ))
+    parser.add_argument("--dispatch", choices=["batch", "scalar"],
+                        default="batch",
+                        help=(
+                            "event dispatch mode: columnar batched shards "
+                            "(default) or the scalar per-event oracle"
+                        ))
+    parser.add_argument("--profile", type=Path, nargs="?", const=_PROFILE_STDERR,
+                        default=None, metavar="FILE",
+                        help=(
+                            "profile the campaign with cProfile; with FILE, "
+                            "dump raw stats there (for snakeviz/pstats), and "
+                            "always print the top functions by cumulative "
+                            "time to stderr. Profiles the parent process "
+                            "only — use --jobs 1 for full coverage"
+                        ))
     parser.add_argument("--format", choices=["text", "json"], default="text",
                         help="output format (default: text)")
+    parser.add_argument("--no-timing", action="store_true",
+                        help=(
+                            "omit wall-clock fields from the output so two "
+                            "runs of the same campaign compare byte-for-byte"
+                        ))
     parser.add_argument("--output", type=Path, default=None,
                         help="write the summary to this file instead of stdout")
     parser.add_argument("--quiet", action="store_true",
@@ -107,13 +135,12 @@ def _fleet_config(args: argparse.Namespace) -> FleetScenarioConfig:
     )
 
 
-def _render_json(result, elapsed: float) -> str:
+def _render_json(result, elapsed: Optional[float]) -> str:
     acc = result.accumulator
     payload = {
         "devices": acc.devices,
         "shards": result.shards,
         "jobs": result.jobs,
-        "elapsed_seconds": round(elapsed, 3),
         "events_processed": acc.events_processed,
         "forwarded": acc.forwarded,
         "messages_read": acc.messages_read,
@@ -126,7 +153,9 @@ def _render_json(result, elapsed: float) -> str:
         "final_device_queued": acc.final_device_queued,
         "counters": {k: v for k, v in sorted(acc.counters.items())},
     }
-    return json.dumps(payload, indent=2)
+    if elapsed is not None:
+        payload["elapsed_seconds"] = round(elapsed, 3)
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -159,19 +188,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(str(error))
 
     policy = POLICIES[args.policy]()
+    profiler = cProfile.Profile() if args.profile is not None else None
     started = time.time()
     try:
-        result = run_fleet(
-            config,
-            policy,
-            shards=args.shards,
-            jobs=args.jobs,
-            faults=fault_spec,
-        )
+        if profiler is not None:
+            profiler.enable()
+        try:
+            result = run_fleet(
+                config,
+                policy,
+                shards=args.shards,
+                jobs=args.jobs,
+                faults=fault_spec,
+                use_batch=args.dispatch == "batch",
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
     except obs.InvariantViolation as error:
         print(f"invariant audit failed:\n{error}", file=sys.stderr)
         return 2
     elapsed = time.time() - started
+
+    if profiler is not None:
+        if args.profile != _PROFILE_STDERR:
+            profiler.dump_stats(args.profile)
+            print(f"  [profile stats written to {args.profile}]", file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats(pstats.SortKey.CUMULATIVE)
+        stats.print_stats(_PROFILE_TOP_N)
 
     if not args.quiet:
         rate = config.devices / elapsed if elapsed > 0 else float("inf")
@@ -183,7 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     if args.format == "json":
-        text = _render_json(result, elapsed)
+        text = _render_json(result, None if args.no_timing else elapsed)
     else:
         text = result.describe()
     if args.output is None:

@@ -340,6 +340,7 @@ def run_fleet_shards(
     jobs: Optional[int] = 1,
     fault_spec: Optional["faults.FaultSpec"] = None,
     link_latency: float = 0.0,
+    use_batch: bool = True,
 ):
     """Execute a fleet workload across shards; fold into one accumulator.
 
@@ -352,6 +353,13 @@ def run_fleet_shards(
     in shard order, so the folded result is deterministic; device
     outcomes are independent, so it is also invariant to ``(shards,
     jobs)`` up to documented float reassociation.
+
+    ``use_batch`` selects between the columnar batched dispatcher and
+    the scalar per-event path (its differential oracle). It arrives
+    here already resolved to a bool — :func:`repro.fleet.runner
+    .run_fleet` applies the ``repro.fleet.dispatch`` default — so
+    workers inherit the parent's decision rather than consulting their
+    own process-local dispatch flag.
 
     Fleet imports stay inside the function: :mod:`repro.fleet.runner`
     imports this module at import time, so importing it here at module
@@ -370,7 +378,9 @@ def run_fleet_shards(
             piece = workload if (lo, hi) == (0, workload.devices) else (
                 workload.shard(lo, hi)
             )
-            total.merge(_execute_shard(piece, policy, spec, link_latency))
+            total.merge(
+                _execute_shard(piece, policy, spec, link_latency, use_batch)
+            )
         return total
 
     shm_set = trace_shm.ShmTraceSet()
@@ -381,7 +391,10 @@ def run_fleet_shards(
             key = f"fleet-shard-{s}"
             shm_set.publish(key, piece.to_trace())
             tasks.append(
-                (key, lo, hi, workload.config, policy, spec, link_latency)
+                (
+                    key, lo, hi, workload.config, policy, spec, link_latency,
+                    use_batch,
+                )
             )
         results = parallel_map(
             _execute_shard_from_shm,

@@ -1,0 +1,75 @@
+"""Dispatch-mode selection for fleet shard execution.
+
+Every fleet shard can replay its merged event streams two ways:
+
+* ``batch`` (the default) — the columnar fast path: the shard's four
+  event kinds merge into **one** batch stream and the engine hands the
+  pump (:mod:`repro.fleet.batch`) whole runs of it at a time; the pump
+  dispatches each item against the columnar binding state
+  (:mod:`repro.fleet.columns`) and falls back to the per-device
+  callbacks only where the fast-path guarantees do not hold.
+* ``scalar`` — the original one-callback-per-event path, kept as the
+  differential oracle: both modes produce bit-identical integer metrics
+  (``tests/fleet/test_fleet_batch.py`` pins the equivalence).
+
+This mirrors the ``use_method`` pattern of
+:mod:`repro.workload.methods`: a process-wide default plus a
+context-manager override for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.errors import ConfigurationError
+
+BATCH = "batch"
+SCALAR = "scalar"
+
+_MODES = (BATCH, SCALAR)
+
+_active: str = BATCH
+
+
+def active_dispatch() -> str:
+    """The process-wide default shard dispatch mode."""
+    return _active
+
+
+def set_dispatch(mode: str) -> None:
+    """Set the process-wide default shard dispatch mode."""
+    global _active
+    if mode not in _MODES:
+        raise ConfigurationError(
+            f"unknown dispatch mode {mode!r}; expected one of {_MODES}"
+        )
+    _active = mode
+
+
+def resolve(use_batch: Union[None, bool, str]) -> bool:
+    """Normalize an explicit ``use_batch`` override to a bool.
+
+    ``None`` falls back to the active process-wide default; a string
+    must be one of the mode names.
+    """
+    if use_batch is None:
+        return _active == BATCH
+    if isinstance(use_batch, bool):
+        return use_batch
+    if use_batch not in _MODES:
+        raise ConfigurationError(
+            f"unknown dispatch mode {use_batch!r}; expected one of {_MODES}"
+        )
+    return use_batch == BATCH
+
+
+@contextmanager
+def use_dispatch(mode: str) -> Iterator[None]:
+    """Temporarily switch the default mode (tests and benchmarks)."""
+    previous = _active
+    set_dispatch(mode)
+    try:
+        yield
+    finally:
+        set_dispatch(previous)

@@ -37,7 +37,7 @@ import gc
 from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import partial
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -48,6 +48,8 @@ from repro.device.device import ClientDevice
 from repro.device.link import LastHopLink
 from repro.experiments import parallel
 from repro.faults import FaultPlan, FaultSpec
+from repro.fleet import dispatch
+from repro.fleet.batch import ShardBatchDispatcher
 from repro.fleet.config import FleetScenarioConfig
 from repro.fleet.workload import FleetWorkload, build_fleet_workload
 from repro.metrics.accounting import RunStats
@@ -112,6 +114,7 @@ def _execute_shard(
     policy: PolicyConfig,
     fault_spec: Optional[FaultSpec] = None,
     link_latency: float = 0.0,
+    use_batch: Union[None, bool, str] = None,
 ) -> FleetAccumulator:
     """Run one shard's devices on one simulator; fold into an accumulator.
 
@@ -121,6 +124,10 @@ def _execute_shard(
     preserve each device's within-device event order, so a device's
     statistics are identical whether it runs here or through the
     single-device runner.
+
+    ``use_batch`` picks the dispatch mode (:mod:`repro.fleet.dispatch`):
+    the columnar batched fast path (the default) or the scalar
+    per-callback oracle. Both produce bit-identical integer metrics.
     """
     config = workload.config
     spec = fault_spec if fault_spec is not None else faults_mod.active_spec()
@@ -131,7 +138,8 @@ def _execute_shard(
 
     with _bulk_allocation():
         return _execute_shard_inner(
-            workload, policy, spec, link_latency, recorder, auditor
+            workload, policy, spec, link_latency, recorder, auditor,
+            dispatch.resolve(use_batch),
         )
 
 
@@ -142,6 +150,7 @@ def _execute_shard_inner(
     link_latency: float,
     recorder,
     auditor,
+    use_batch: bool,
 ) -> FleetAccumulator:
     config = workload.config
     acc = FleetAccumulator()
@@ -165,6 +174,9 @@ def _execute_shard_inner(
     topics: List[TopicId] = []
     stats_list: List[SketchedStats] = []
     devices: List[ClientDevice] = []
+    links: List[LastHopLink] = []
+    states: List = []
+    has_plan: List[bool] = []
     perform_reads: List = []
     set_statuses: List = []
     for index in range(workload.devices):
@@ -187,7 +199,7 @@ def _execute_shard_inner(
         )
         device = ClientDevice(sim, link, stats, faults=plan)
         device.add_topic(topic, threshold)
-        proxy.add_binding(
+        state = proxy.add_binding(
             topic, transport=link, stats=stats, rank_threshold=threshold
         )
         device.attach_proxy(proxy)
@@ -203,22 +215,92 @@ def _execute_shard_inner(
         topics.append(topic)
         stats_list.append(stats)
         devices.append(device)
+        links.append(link)
+        states.append(state)
+        has_plan.append(plan is not None)
         perform_reads.append(device.perform_read)
         set_statuses.append(link.set_status)
 
-    _register_fleet_streams(sim, workload, proxy, topics, perform_reads, set_statuses)
+    if use_batch:
+        dispatcher = ShardBatchDispatcher(
+            sim=sim,
+            workload=workload,
+            proxy=proxy,
+            policy=policy,
+            topics=topics,
+            states=states,
+            links=links,
+            devices=devices,
+            stats_list=stats_list,
+            perform_reads=perform_reads,
+            set_statuses=set_statuses,
+            has_plan=has_plan,
+            link_latency=link_latency,
+            recorder=recorder,
+            auditor=auditor,
+        )
+        dispatcher.register_streams()
+    else:
+        _register_fleet_streams(
+            sim, workload, proxy, topics, perform_reads, set_statuses
+        )
 
     sim.run(until=duration)
 
-    for index, stats in enumerate(stats_list):
-        acc.add_device(
-            stats,
-            final_proxy_queued=proxy.topic_state(topics[index]).queued_event_count(),
-            final_device_queued=devices[index].queue_size(topics[index]),
-        )
+    # Final-queue sweep, one per binding: equivalent to
+    # ``topic_state(t).queued_event_count()`` / ``device.queue_size(t)``
+    # but reading the ranked queues' membership dicts directly — at 10k+
+    # bindings the method hops are a measurable slice of the fold.
+    states_map = proxy._states
+    acc.add_shard(
+        stats_list,
+        [
+            len(st.outgoing._items)
+            + len(st.prefetch._items)
+            + len(st.holding._items)
+            for st in (states_map[topic] for topic in topics)
+        ],
+        [
+            len(device._queues[topic]._items)
+            for device, topic in zip(devices, topics)
+        ],
+    )
     acc.events_processed = sim.events_processed
     obs.PROBES.count("events", sim.events_processed)
+    _dismantle_shard(sim, proxy, devices, links)
     return acc
+
+
+def _dismantle_shard(
+    sim: Simulator,
+    proxy: LastHopProxy,
+    devices: List[ClientDevice],
+    links: List[LastHopLink],
+) -> None:
+    """Break the shard's reference cycles so plain refcounting frees it.
+
+    The device ↔ link ↔ proxy ↔ simulator graph is cyclic (listeners
+    hold bound methods, heap events hold states, devices hold the
+    proxy); with the cyclic collector suspended for the shard's
+    lifetime (:func:`_bulk_allocation`), an unbroken graph would
+    survive until a later full GC sweep — which lands in the middle of
+    the *next* shard (or benchmark round). Everything the caller needs
+    has been folded into the accumulator by now.
+    """
+    for event in sim._heap:
+        stream = event.stream
+        if stream is not None:
+            # Streams the duration cap left unexhausted still hold the
+            # cursor <-> stream cycle the engine breaks at exhaustion.
+            stream.entry = None
+            event.stream = None
+    sim._heap.clear()
+    for link in links:
+        link._listeners.clear()
+        link._device = None
+    for device in devices:
+        device._proxy = None
+    proxy._states.clear()
 
 
 def _register_fleet_streams(
@@ -339,19 +421,22 @@ def _execute_shard_from_shm(
     policy: PolicyConfig,
     fault_spec: Optional[FaultSpec],
     link_latency: float,
+    use_batch: bool = True,
 ) -> FleetAccumulator:
     """Worker entry: attach the shard's columns from shared memory.
 
     A vanished segment (parent unlinked early) degrades to a rebuild:
     generation is deterministic in the config, so ``build_fleet_workload
     (config).shard(lo, hi)`` reproduces the same columns byte-for-byte.
+    ``use_batch`` arrives resolved in the parent — the worker process
+    must not consult its own (default-initialized) dispatch flag.
     """
     packed = trace_shm.load(key)
     if packed is not None:
         workload = FleetWorkload.from_trace(config, packed)
     else:
         workload = build_fleet_workload(config).shard(lo, hi)
-    return _execute_shard(workload, policy, fault_spec, link_latency)
+    return _execute_shard(workload, policy, fault_spec, link_latency, use_batch)
 
 
 def run_fleet(
@@ -363,6 +448,7 @@ def run_fleet(
     faults: Optional[FaultSpec] = None,
     link_latency: float = 0.0,
     workload: Optional[FleetWorkload] = None,
+    use_batch: Union[None, bool, str] = None,
 ) -> FleetResult:
     """Run a whole fleet campaign; results invariant to ``(shards, jobs)``.
 
@@ -373,7 +459,9 @@ def run_fleet(
     realizing its own plan from its derived seed; None falls back to the
     process-wide spec (the CLI's ``--faults``). Pass ``workload`` to
     reuse an already-built :func:`build_fleet_workload` result (it must
-    match ``config``).
+    match ``config``). ``use_batch`` selects batched (default) or
+    scalar shard dispatch (:mod:`repro.fleet.dispatch`); both produce
+    bit-identical integer metrics.
     """
     config.validate()
     if policy is None:
@@ -390,6 +478,7 @@ def run_fleet(
         jobs=jobs,
         fault_spec=spec,
         link_latency=link_latency,
+        use_batch=dispatch.resolve(use_batch),
     )
     return FleetResult(
         config=config,

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
+from operator import itemgetter
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
@@ -258,10 +259,60 @@ class FleetAccumulator:
         self.final_proxy_queued += final_proxy_queued
         self.final_device_queued += final_device_queued
         counters = self.counters
+        # RunStats is a plain (non-slotted) dataclass, so every summed
+        # field lives in the instance dict; one dict lookup per field
+        # beats getattr's descriptor protocol on the fleet fold path,
+        # which runs once per device.
+        values = stats.__dict__
         for name in _SUMMED_FIELDS:
-            counters[name] += getattr(stats, name)
+            counters[name] += values[name]
         self.device_reads.push(float(stats.messages_read))
         self.device_waste.push(float(stats.wasted))
+
+    def add_shard(
+        self,
+        stats_list: List[RunStats],
+        final_proxy_queued: List[int],
+        final_device_queued: List[int],
+    ) -> None:
+        """Fold a whole shard of devices in one column-at-a-time pass.
+
+        Bit-identical to calling :meth:`add_device` once per device in
+        list order: the integer columns are order-free sums, and the
+        float columns (``read_delay_sum``, battery, crash downtime)
+        associate left-to-right inside ``sum`` exactly as the
+        sequential fold does. The per-device moment pushes stay
+        sequential — Welford's update is order-sensitive, and both
+        fleet dispatch modes must describe() identically.
+        """
+        self.devices += len(stats_list)
+        self.final_proxy_queued += sum(final_proxy_queued)
+        self.final_device_queued += sum(final_device_queued)
+        counters = self.counters
+        # Column-at-a-time: itemgetter over the instance dicts keeps
+        # the whole per-field reduction in C (RunStats is a plain
+        # dataclass, so every summed field lives in __dict__).
+        dicts = [stats.__dict__ for stats in stats_list]
+        for name in _SUMMED_FIELDS:
+            counters[name] += sum(map(itemgetter(name), dicts))
+        forwarded = 0
+        messages_read = 0
+        wasted = 0
+        push_reads = self.device_reads.push
+        push_waste = self.device_waste.push
+        for stats in stats_list:
+            forwarded_ids = stats.forwarded_ids
+            read_ids = stats.read_ids
+            n_read = len(read_ids)
+            n_wasted = len(forwarded_ids - read_ids)
+            forwarded += len(forwarded_ids)
+            messages_read += n_read
+            wasted += n_wasted
+            push_reads(float(n_read))
+            push_waste(float(n_wasted))
+        self.forwarded += forwarded
+        self.messages_read += messages_read
+        self.wasted += wasted
 
     def merge(self, other: "FleetAccumulator") -> None:
         self.devices += other.devices

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -36,6 +37,12 @@ Callback = Callable[..., None]
 
 #: One static-stream record: ``(time, callback, args)``.
 StreamItem = Tuple[float, Callback, tuple]
+
+#: A batch-stream pump: ``pump(pos, base, cap_time, cap_seq, until,
+#: limit) -> consumed``. See :meth:`Simulator.add_batch_stream`.
+BatchPump = Callable[[int, int, float, int, float, int], int]
+
+_NO_LIMIT = sys.maxsize
 
 
 @dataclass(order=True, **DATACLASS_SLOTS)
@@ -64,6 +71,10 @@ class _StaticStream:
 
     __slots__ = ("items", "pos", "base", "entry")
 
+    #: Distinguishes scalar streams from batch streams in the hot loop
+    #: without an isinstance check.
+    is_batch = False
+
     def __init__(self, items: Sequence[StreamItem], base: int, entry: _ScheduledEvent):
         self.items = items
         self.pos = 1  # items[0] is already loaded into ``entry``
@@ -74,6 +85,45 @@ class _StaticStream:
     def remaining(self) -> int:
         """Items not yet loaded into the heap cursor."""
         return len(self.items) - self.pos
+
+
+class _BatchStream:
+    """Cursor over a pre-sorted stream drained by a *pump* callable.
+
+    Where :class:`_StaticStream` surfaces one ``(time, callback, args)``
+    record per heap round-trip, a batch stream hands whole runs of
+    consecutive items to a single pump call: the engine pops the cursor,
+    computes how far the run may extend (the next heap entry and the
+    ``until`` horizon), and the pump processes items until it hits that
+    bound. The fleet dispatcher uses this to amortize per-event dispatch
+    across thousands of devices (see :mod:`repro.fleet.batch`).
+
+    ``pos`` is the index of the next unfired item; ``entry`` always
+    mirrors item ``pos`` while the cursor is in the heap.
+    """
+
+    __slots__ = ("times", "pump", "pos", "base", "entry")
+
+    is_batch = True
+
+    def __init__(
+        self, times: Sequence[float], pump: BatchPump, base: int,
+        entry: _ScheduledEvent,
+    ) -> None:
+        self.times = times
+        self.pump = pump
+        self.pos = 0
+        self.base = base
+        self.entry = entry
+
+    @property
+    def remaining(self) -> int:
+        """Items not yet fired, excluding the one loaded in the cursor."""
+        return max(0, len(self.times) - self.pos - 1)
+
+
+def _batch_cursor_callback() -> None:  # pragma: no cover - never fires
+    raise SimulationError("batch stream cursor fired as a plain event")
 
 
 class EventHandle:
@@ -206,11 +256,106 @@ class Simulator:
         self._stream_backlog += len(items) - 1
         return len(items)
 
+    def add_batch_stream(self, times: Sequence[float], pump: BatchPump) -> int:
+        """Merge a pre-sorted batch stream drained by ``pump``.
+
+        ``times`` is a non-decreasing sequence of finite timestamps, one
+        per item; the items themselves live with the caller (typically
+        as columnar arrays indexed in lockstep with ``times``). The
+        stream reserves a contiguous block of sequence numbers exactly
+        like :meth:`add_stream`, so its ordering against dynamic timers
+        and other streams is identical to scheduling every item
+        individually — only the dispatch is batched.
+
+        When the stream's cursor is the earliest pending event, the
+        engine calls ``pump(pos, base, cap_time, cap_seq, until, limit)``
+        once for the whole run. The pump contract:
+
+        * Process items ``i = pos, pos+1, ...`` while ``times[i] <=
+          until`` **and** ``(times[i], base + i) < (cap_time, cap_seq)``
+          **and** fewer than ``limit`` items have been consumed, setting
+          ``sim._now = times[i]`` before each item's side effects.
+        * If an item's processing schedules new events (detectable as a
+          change of ``sim._seq_next``), refresh ``cap_time, cap_seq``
+          from ``sim._heap[0]`` before testing the next item — a newly
+          scheduled timer may preempt the rest of the run.
+        * Return the number of items consumed (always >= 1: the first
+          item was the global minimum and within ``until`` when the
+          pump was invoked).
+
+        The engine accounts ``events_processed`` and the stream backlog
+        from the returned count and re-checks monotonicity whenever the
+        cursor re-enters the heap. The pump is trusted engine-adjacent
+        code; :mod:`repro.fleet.batch` is the reference implementation.
+        Returns the item count.
+        """
+        times = times if isinstance(times, list) else list(times)
+        if not times:
+            return 0
+        first = times[0]
+        if not math.isfinite(first):
+            raise SimulationError(f"stream starts at non-finite time {first!r}")
+        if first < self._now:
+            raise SimulationError(
+                f"stream starts at t={first:.3f} before current t={self._now:.3f}"
+            )
+        base = self._seq_next
+        self._seq_next += len(times)
+        entry = _ScheduledEvent(time=first, seq=base, callback=_batch_cursor_callback)
+        entry.stream = _BatchStream(times, pump, base, entry)
+        heapq.heappush(self._heap, entry)
+        self._stream_backlog += len(times) - 1
+        return len(times)
+
+    def _finish_batch(self, stream: _BatchStream, consumed: int) -> None:
+        """Account a pump run and re-arm the batch cursor."""
+        if consumed < 1:
+            raise SimulationError("batch pump made no progress")
+        self._events_processed += consumed
+        self._stream_backlog -= consumed - 1
+        pos = stream.pos + consumed
+        stream.pos = pos
+        times = stream.times
+        if pos >= len(times):
+            # Exhausted: the cursor never re-enters the heap. Break the
+            # entry <-> stream cycle so the stream (and whatever its
+            # pump closes over — at fleet scale, the whole shard) frees
+            # by plain refcounting even with the cyclic collector
+            # suspended.
+            cursor = stream.entry
+            if cursor is not None:
+                cursor.stream = None
+            stream.entry = None
+            return
+        time = times[pos]
+        if not math.isfinite(time):
+            raise SimulationError(
+                f"stream item {pos} has non-finite time {time!r}"
+            )
+        if time < self._now:
+            raise SimulationError(
+                f"stream item {pos} at t={time:.3f} precedes item {pos - 1} "
+                f"at t={self._now:.3f}; streams must be pre-sorted"
+            )
+        entry = stream.entry
+        entry.time = time
+        entry.seq = stream.base + pos
+        self._stream_backlog -= 1
+        heapq.heappush(self._heap, entry)
+
     def _advance_stream(self, stream: _StaticStream) -> None:
         """Load the stream's next item into its heap cursor, if any."""
         pos = stream.pos
         items = stream.items
         if pos >= len(items):
+            # Exhausted: break the entry <-> stream cycle (see
+            # _finish_batch) so the items — which hold a callback per
+            # event, often bound methods of long-dead objects — free by
+            # refcounting, not a later full GC sweep.
+            cursor = stream.entry
+            if cursor is not None:
+                cursor.stream = None
+            stream.entry = None
             return
         time, callback, args = items[pos]
         entry = stream.entry
@@ -237,14 +382,23 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            stream = event.stream
+            if stream is not None and stream.is_batch:
+                # Single-step a batch stream: the popped cursor was the
+                # global minimum, so no cap is needed for one item.
+                consumed = stream.pump(
+                    stream.pos, stream.base, math.inf, 0, math.inf, 1
+                )
+                self._finish_batch(stream, consumed)
+                return True
             # Capture before advancing: the stream cursor entry is
             # reused, so _advance_stream overwrites these fields.
             time, callback, args = event.time, event.callback, event.args
             self._now = time
             self._events_processed += 1
             callback(*args)
-            if event.stream is not None:
-                self._advance_stream(event.stream)
+            if stream is not None:
+                self._advance_stream(stream)
             return True
         return False
 
@@ -279,13 +433,33 @@ class Simulator:
                 if until is not None and time > until:
                     break
                 heappop(heap)
+                stream = event.stream
+                if stream is not None and stream.is_batch:
+                    # Hand the whole run to the pump: it may fire every
+                    # consecutive item that sorts before the next heap
+                    # entry (and within ``until``), re-checking the cap
+                    # whenever one of its items schedules a new event.
+                    if heap:
+                        top = heap[0]
+                        cap_time, cap_seq = top.time, top.seq
+                    else:
+                        cap_time, cap_seq = math.inf, 0
+                    consumed = stream.pump(
+                        stream.pos,
+                        stream.base,
+                        cap_time,
+                        cap_seq,
+                        math.inf if until is None else until,
+                        _NO_LIMIT,
+                    )
+                    self._finish_batch(stream, consumed)
+                    continue
                 # Capture before advancing: the stream cursor entry is
                 # reused, so advancing overwrites these fields.
                 callback, args = event.callback, event.args
                 self._now = time
                 self._events_processed += 1
                 callback(*args)
-                stream = event.stream
                 if stream is None:
                     continue
                 # Advance after firing so a malformed item N+1 (unsorted
@@ -327,6 +501,11 @@ class Simulator:
                     self._stream_backlog -= 1
                     self._events_processed += 1
                     callback(*args)
+                if pos >= size:
+                    # Exhausted without re-arming: break the entry <->
+                    # stream cycle (see _finish_batch).
+                    event.stream = None
+                    stream.entry = None
             if until is not None:
                 self._now = max(self._now, until)
         finally:

@@ -359,3 +359,168 @@ def test_property_cancelled_events_never_fire(items):
     sim.run()
     expected = {i for i, (_, cancel) in enumerate(items) if not cancel}
     assert set(fired) == expected
+
+
+def _reference_pump(sim, times, on_item):
+    """A minimal conforming batch pump: the engine-side contract in
+    miniature (cap refresh after any item that schedules, ``until`` and
+    ``limit`` enforcement, clock write before side effects)."""
+
+    def pump(pos, base, cap_time, cap_seq, until, limit):
+        consumed = 0
+        seq_mark = sim._seq_next
+        size = len(times)
+        i = pos
+        while i < size and consumed < limit:
+            time = times[i]
+            if time > until or (time, base + i) >= (cap_time, cap_seq):
+                break
+            sim._now = time
+            on_item(i)
+            if sim._seq_next != seq_mark:
+                if sim._heap:
+                    top = sim._heap[0]
+                    cap_time, cap_seq = top.time, top.seq
+                seq_mark = sim._seq_next
+            consumed += 1
+            i += 1
+        return consumed
+
+    return pump
+
+
+class TestBatchStreams:
+    def test_items_fire_in_order_interleaved_with_timers(self, sim):
+        fired = []
+        times = [1.0, 2.0, 3.0, 4.0]
+        sim.schedule(1.5, fired.append, "t1")
+        sim.schedule(3.5, fired.append, "t2")
+        sim.add_batch_stream(
+            times, _reference_pump(sim, times, lambda i: fired.append(i))
+        )
+        sim.run()
+        assert fired == [0, "t1", 1, 2, "t2", 3]
+        assert sim.now == 4.0
+
+    def test_tie_break_follows_registration_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "before")
+        times = [2.0]
+        sim.add_batch_stream(
+            times, _reference_pump(sim, times, lambda i: fired.append("batch"))
+        )
+        sim.schedule(2.0, fired.append, "after")
+        sim.run()
+        assert fired == ["before", "batch", "after"]
+
+    def test_pump_scheduled_timer_preempts_rest_of_batch(self, sim):
+        fired = []
+        times = [1.0, 2.0, 3.0]
+
+        def on_item(i):
+            fired.append(i)
+            if i == 0:
+                sim.schedule(0.5, fired.append, "timer")
+
+        sim.add_batch_stream(times, _reference_pump(sim, times, on_item))
+        sim.run()
+        assert fired == [0, "timer", 1, 2]
+
+    def test_run_until_pauses_and_resumes_mid_batch(self, sim):
+        fired = []
+        times = [1.0, 2.0, 3.0]
+        sim.add_batch_stream(
+            times, _reference_pump(sim, times, lambda i: fired.append(i))
+        )
+        sim.run(until=1.5)
+        assert fired == [0]
+        assert sim.now == 1.5
+        sim.run()
+        assert fired == [0, 1, 2]
+
+    def test_step_single_steps_the_batch(self, sim):
+        fired = []
+        times = [1.0, 1.0, 2.0]
+        sim.add_batch_stream(
+            times, _reference_pump(sim, times, lambda i: fired.append(i))
+        )
+        assert sim.step()
+        assert fired == [0]
+        sim.run()
+        assert fired == [0, 1, 2]
+
+    def test_events_processed_counts_batch_items(self, sim):
+        times = [1.0, 2.0, 3.0]
+        sim.add_batch_stream(times, _reference_pump(sim, times, lambda i: None))
+        sim.schedule(2.5, lambda: None)
+        assert sim.pending == 2 + len(times) - 1
+        sim.run()
+        assert sim.events_processed == 4
+        assert sim.pending == 0
+
+    def test_empty_batch_stream_is_a_no_op(self, sim):
+        assert sim.add_batch_stream([], lambda *a: 1) == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_first_time_must_be_finite_and_not_past(self, sim):
+        with pytest.raises(SimulationError):
+            sim.add_batch_stream([float("nan")], lambda *a: 1)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.add_batch_stream([0.5], lambda *a: 1)
+
+    def test_zero_progress_pump_rejected(self, sim):
+        sim.add_batch_stream([1.0, 2.0], lambda *a: 0)
+        with pytest.raises(SimulationError, match="no progress"):
+            sim.run()
+
+    def _single_step_pump(self, sim, times):
+        # Consume exactly one item per call so the engine's re-arm
+        # validation sees every successor timestamp.
+        def pump(pos, base, cap_time, cap_seq, until, limit):
+            sim._now = times[pos]
+            return 1
+
+        return pump
+
+    def test_unsorted_stream_detected_at_rearm(self, sim):
+        times = [2.0, 1.0]
+        sim.add_batch_stream(times, self._single_step_pump(sim, times))
+        with pytest.raises(SimulationError, match="pre-sorted"):
+            sim.run()
+
+    def test_non_finite_mid_stream_detected_at_rearm(self, sim):
+        times = [1.0, float("inf")]
+        sim.add_batch_stream(times, self._single_step_pump(sim, times))
+        with pytest.raises(SimulationError, match="non-finite"):
+            sim.run()
+
+    def test_exhausted_stream_frees_without_cycle_collection(self, sim):
+        import gc
+        import weakref
+
+        class Payload:
+            pass
+
+        payload = Payload()
+        ref = weakref.ref(payload)
+        times = [1.0]
+
+        def pump(pos, base, cap_time, cap_seq, until, limit):
+            sim._now = times[pos]
+            assert payload is not None  # the closure keeps it alive
+            return 1
+
+        gc.disable()
+        try:
+            sim.add_batch_stream(times, pump)
+            sim.run()
+            del pump, payload
+            # The engine broke the cursor <-> stream cycle on
+            # exhaustion, so dropping the last direct reference frees
+            # the closure by refcounting alone — no collector pass.
+            assert ref() is None
+        finally:
+            gc.enable()
