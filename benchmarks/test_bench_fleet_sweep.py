@@ -1,0 +1,109 @@
+"""Fleet sweep benchmarks: shared-workload reuse and store throughput.
+
+A sweep evaluates P policy variants against one ``(scenario, seed)``
+cell. The executor's promise is that the vectorized workload build —
+the only per-cell cost that does not depend on the policy — happens
+once per cell group, not once per policy. The reuse bench pins that
+claim at the build layer: building one shared workload must beat P
+per-cell rebuilds by at least ``(P - 1)``-fold minus slack (execution
+cost is policy-dependent and identical either way, so it is excluded
+from the timed region; end-to-end the build is a few percent of a
+cell, which is exactly why rebuilding it P times must never creep back
+in).
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import FleetScenarioConfig, build_fleet_workload
+from repro.fleet.store import SweepStore
+from repro.fleet.sweep import FleetSweepConfig, parse_policy_token, run_fleet_sweep
+from repro.units import DAY
+from repro.workload.arrivals import ArrivalConfig
+from repro.workload.outages import OutageConfig
+from repro.workload.reads import ReadConfig
+
+#: Same light per-device workload as the fleet benchmarks.
+_LIGHT = dict(
+    arrivals=ArrivalConfig(events_per_day=2.0),
+    reads=ReadConfig(reads_per_day=0.5),
+    outages=OutageConfig(downtime_fraction=0.1),
+)
+
+#: Policy variants per cell group — the sharing factor under test.
+_POLICIES = ("online", "on_demand", "unified", "buffer:8")
+
+
+def _fleet_config(devices: int) -> FleetScenarioConfig:
+    return FleetScenarioConfig(devices=devices, duration=DAY, seed=0, **_LIGHT)
+
+
+def _build_shared(config: FleetScenarioConfig):
+    """What the sweep does per cell group: one build for all policies."""
+    return build_fleet_workload(config)
+
+
+def _build_per_cell(config: FleetScenarioConfig):
+    """The naive shape the sweep avoids: one rebuild per policy cell."""
+    workloads = [build_fleet_workload(config) for _ in _POLICIES]
+    return workloads[-1]
+
+
+@pytest.mark.benchmark(group="fleet_sweep")
+def test_bench_sweep_shared_workload_reuse(benchmark):
+    """Shared build >= 2x faster than per-cell rebuild at 4 policies.
+
+    The theoretical ratio is exactly ``len(_POLICIES)`` (4x) since the
+    timed work is identical per rebuild; the asserted floor of 2x
+    leaves room for CI noise and allocator variance while still
+    catching any accidental per-policy rebuild sneaking into the group
+    loop.
+    """
+    import time
+
+    config = _fleet_config(4_000)
+    workload = benchmark.pedantic(
+        _build_shared, args=(config,), rounds=3, iterations=1
+    )
+    assert workload.devices == 4_000
+    shared = benchmark.stats.stats.min
+
+    rebuild_samples = []
+    for _ in range(3):
+        started = time.perf_counter()
+        _build_per_cell(config)
+        rebuild_samples.append(time.perf_counter() - started)
+    rebuild = min(rebuild_samples)
+
+    assert rebuild / shared >= 2.0, (
+        f"shared-workload reuse collapsed: shared={shared * 1e3:.1f}ms "
+        f"vs {len(_POLICIES)}x rebuild={rebuild * 1e3:.1f}ms"
+    )
+
+
+@pytest.mark.benchmark(group="fleet_sweep")
+def test_bench_sweep_campaign(benchmark):
+    """A small campaign end-to-end: grid, execute, store, summarize.
+
+    2 scenarios x 1 seed x 4 policies at 500 devices — small enough for
+    the bench gate, large enough that the executor (not sqlite) must
+    dominate. Each round gets a fresh store so append cost is measured,
+    not resume short-circuiting.
+    """
+    config = FleetSweepConfig(
+        base=_fleet_config(500),
+        policies=tuple(parse_policy_token(token) for token in _POLICIES),
+        seeds=(0,),
+        axes=(("devices", (500, 1_000)),),
+    )
+
+    def _run():
+        with tempfile.TemporaryDirectory() as tmp:
+            with SweepStore(Path(tmp) / "bench.sqlite") as store:
+                return run_fleet_sweep(config, store, shards=2)
+
+    outcome = benchmark.pedantic(_run, rounds=2, iterations=1)
+    assert outcome.computed == 8
+    assert outcome.remaining == 0

@@ -11,6 +11,9 @@ Examples::
     repro-lasthop fleet --devices 100000 --shards 8 --jobs 4
     repro-lasthop fleet --devices 10000 --faults lossy --audit
     repro-lasthop fleet --devices 1000 --policy rate --days 7 --format json
+
+``repro-lasthop fleet sweep`` runs whole campaign grids into a results
+store; see :mod:`repro.experiments.fleet_sweep_cli`.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import faults, obs
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExportError
 from repro.fleet import FleetScenarioConfig, run_fleet
 from repro.proxy.policies import PolicyConfig
 from repro.units import DAY
@@ -149,6 +152,7 @@ def _render_json(result, elapsed: Optional[float]) -> str:
         "mean_read_age": acc.mean_read_age,
         "read_age_p50": acc.read_delay_sketch.percentile(0.5),
         "read_age_p95": acc.read_delay_sketch.percentile(0.95),
+        "read_age_p99": acc.read_delay_sketch.percentile(0.99),
         "final_proxy_queued": acc.final_proxy_queued,
         "final_device_queued": acc.final_device_queued,
         "counters": {k: v for k, v in sorted(acc.counters.items())},
@@ -158,15 +162,41 @@ def _render_json(result, elapsed: Optional[float]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _emit(text: str, output: Optional[Path]) -> None:
+    """Print or write the summary; OSError becomes a typed ExportError.
+
+    A campaign can run for an hour before this line; an unwritable
+    ``--output`` must surface as the CLI's clean error path, not a raw
+    traceback.
+    """
+    if output is None:
+        print(text)
+        return
+    try:
+        output.write_text(text + "\n", encoding="utf-8")
+    except OSError as exc:
+        raise ExportError(f"cannot write output to {output}: {exc}") from exc
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    # `sweep` is a subcommand with its own flag set; dispatch before the
+    # single-campaign parser so their flags never collide.
+    args_list = sys.argv[1:] if argv is None else list(argv)
+    if args_list and args_list[0] == "sweep":
+        from repro.experiments.fleet_sweep_cli import main as sweep_main
+
+        return sweep_main(args_list[1:])
+
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(args_list)
     if args.devices < 1:
         parser.error("--devices must be >= 1")
     if args.days <= 0:
         parser.error("--days must be positive")
     if args.shards < 1:
         parser.error("--shards must be >= 1")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 = one per CPU)")
     if args.audit is not None and args.audit < 1:
         parser.error("--audit interval must be >= 1")
 
@@ -231,10 +261,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         text = _render_json(result, None if args.no_timing else elapsed)
     else:
         text = result.describe()
-    if args.output is None:
-        print(text)
-    else:
-        args.output.write_text(text + "\n", encoding="utf-8")
+    try:
+        _emit(text, args.output)
+    except ExportError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -333,6 +333,109 @@ def publish_grid_traces(
     return shm_set
 
 
+def run_fleet_policy_batch(
+    workload,
+    policies: Sequence[PolicyConfig],
+    shards: int = 1,
+    jobs: Optional[int] = 1,
+    fault_spec: Optional["faults.FaultSpec"] = None,
+    link_latency: float = 0.0,
+    use_batch: bool = True,
+):
+    """Execute several policy variants over ONE fleet workload's shards.
+
+    The fleet analogue of :class:`ScenarioBatchTask`: a sweep evaluates
+    many policies against one ``(scenario, seed)`` cell, and the
+    expensive shared work — the vectorized workload build (done by the
+    caller, once) and the shard-column shared-memory publication (done
+    here, once) — must not be repeated per policy. Returns one folded
+    :class:`~repro.metrics.streaming.FleetAccumulator` per policy, in
+    ``policies`` order.
+
+    The workload (a :class:`repro.fleet.workload.FleetWorkload`) is
+    sliced into contiguous device ranges. Inline (``jobs<=1``) each
+    slice runs sequentially on its own simulator; with workers, each
+    slice's columns are published to shared memory
+    (:mod:`repro.sim.trace_shm` — the same segment format as grid
+    traces) exactly once and every policy's shard tasks attach them
+    zero-copy. Per policy, shard accumulators merge in shard order, so
+    the folded results are deterministic; device outcomes are
+    independent, so each is also invariant to ``(shards, jobs)`` up to
+    documented float reassociation.
+
+    ``use_batch`` selects between the columnar batched dispatcher and
+    the scalar per-event path (its differential oracle). It arrives
+    here already resolved to a bool — :func:`repro.fleet.runner
+    .run_fleet` and :func:`repro.fleet.sweep.run_fleet_sweep` apply the
+    ``repro.fleet.dispatch`` default — so workers inherit the parent's
+    decision rather than consulting their own process-local flag.
+
+    Fleet imports stay inside the function: :mod:`repro.fleet.runner`
+    imports this module at import time, so importing it here at module
+    level would be circular.
+    """
+    from repro.fleet.runner import _execute_shard, _execute_shard_from_shm
+    from repro.fleet.workload import shard_bounds
+    from repro.metrics.streaming import FleetAccumulator
+
+    policies = list(policies)
+    if not policies:
+        return []
+    spec = fault_spec if fault_spec is not None else faults.active_spec()
+    bounds = shard_bounds(workload.devices, shards)
+    effective = resolve_jobs(jobs, len(bounds) * len(policies))
+    if effective <= 1:
+        totals = []
+        for policy in policies:
+            total = FleetAccumulator()
+            for lo, hi in bounds:
+                piece = workload if (lo, hi) == (0, workload.devices) else (
+                    workload.shard(lo, hi)
+                )
+                total.merge(
+                    _execute_shard(piece, policy, spec, link_latency, use_batch)
+                )
+            totals.append(total)
+        return totals
+
+    shm_set = trace_shm.ShmTraceSet()
+    try:
+        segments = []
+        for s, (lo, hi) in enumerate(bounds):
+            piece = workload.shard(lo, hi)
+            key = f"fleet-shard-{s}"
+            shm_set.publish(key, piece.to_trace())
+            segments.append((key, lo, hi))
+        tasks = [
+            (
+                key, lo, hi, workload.config, policy, spec, link_latency,
+                use_batch,
+            )
+            # Policy-major: each policy's shards are contiguous, so the
+            # in-order harvest below folds them without buffering.
+            for policy in policies
+            for key, lo, hi in segments
+        ]
+        results = parallel_map(
+            _execute_shard_from_shm,
+            tasks,
+            jobs=effective,
+            # One shard per future: shards are already the coarse unit.
+            chunksize=1,
+            shm_traces=dict(shm_set.mapping),
+        )
+    finally:
+        shm_set.unlink()
+    totals = []
+    harvest = iter(results)
+    for _ in policies:
+        total = FleetAccumulator()
+        for _ in bounds:
+            total.merge(next(harvest))
+        totals.append(total)
+    return totals
+
+
 def run_fleet_shards(
     workload,
     policy: PolicyConfig,
@@ -344,71 +447,18 @@ def run_fleet_shards(
 ):
     """Execute a fleet workload across shards; fold into one accumulator.
 
-    The workload (a :class:`repro.fleet.workload.FleetWorkload`) is
-    sliced into contiguous device ranges. Inline (``jobs<=1``) each
-    slice runs sequentially on its own simulator; with workers, each
-    slice's columns are published to shared memory
-    (:mod:`repro.sim.trace_shm` — the same segment format as grid
-    traces) and workers attach them zero-copy. Shard accumulators merge
-    in shard order, so the folded result is deterministic; device
-    outcomes are independent, so it is also invariant to ``(shards,
-    jobs)`` up to documented float reassociation.
-
-    ``use_batch`` selects between the columnar batched dispatcher and
-    the scalar per-event path (its differential oracle). It arrives
-    here already resolved to a bool — :func:`repro.fleet.runner
-    .run_fleet` applies the ``repro.fleet.dispatch`` default — so
-    workers inherit the parent's decision rather than consulting their
-    own process-local dispatch flag.
-
-    Fleet imports stay inside the function: :mod:`repro.fleet.runner`
-    imports this module at import time, so importing it here at module
-    level would be circular.
+    The single-policy face of :func:`run_fleet_policy_batch` — see
+    there for the sharding, handoff, and determinism contract.
     """
-    from repro.fleet.runner import _execute_shard, _execute_shard_from_shm
-    from repro.fleet.workload import shard_bounds
-    from repro.metrics.streaming import FleetAccumulator
-
-    spec = fault_spec if fault_spec is not None else faults.active_spec()
-    bounds = shard_bounds(workload.devices, shards)
-    total = FleetAccumulator()
-    effective = resolve_jobs(jobs, len(bounds))
-    if effective <= 1:
-        for lo, hi in bounds:
-            piece = workload if (lo, hi) == (0, workload.devices) else (
-                workload.shard(lo, hi)
-            )
-            total.merge(
-                _execute_shard(piece, policy, spec, link_latency, use_batch)
-            )
-        return total
-
-    shm_set = trace_shm.ShmTraceSet()
-    try:
-        tasks = []
-        for s, (lo, hi) in enumerate(bounds):
-            piece = workload.shard(lo, hi)
-            key = f"fleet-shard-{s}"
-            shm_set.publish(key, piece.to_trace())
-            tasks.append(
-                (
-                    key, lo, hi, workload.config, policy, spec, link_latency,
-                    use_batch,
-                )
-            )
-        results = parallel_map(
-            _execute_shard_from_shm,
-            tasks,
-            jobs=effective,
-            # One shard per future: shards are already the coarse unit.
-            chunksize=1,
-            shm_traces=dict(shm_set.mapping),
-        )
-    finally:
-        shm_set.unlink()
-    for acc in results:
-        total.merge(acc)
-    return total
+    return run_fleet_policy_batch(
+        workload,
+        [policy],
+        shards=shards,
+        jobs=jobs,
+        fault_spec=fault_spec,
+        link_latency=link_latency,
+        use_batch=use_batch,
+    )[0]
 
 
 def run_pair_grid(

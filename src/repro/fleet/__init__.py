@@ -21,16 +21,39 @@ Entry points:
 * :func:`~repro.fleet.runner.run_fleet` — run the fleet, optionally
   sharded across worker processes; results are invariant to the
   ``(shards, jobs)`` partitioning.
+* :class:`~repro.fleet.sweep.FleetSweepConfig` /
+  :func:`~repro.fleet.sweep.run_fleet_sweep` — grid scenario knobs ×
+  policy variants × seeds into an append-only, resumable results store
+  (:class:`~repro.fleet.store.SweepStore`).
 """
 
 from repro.fleet.config import FleetScenarioConfig
 from repro.fleet.runner import FleetResult, run_fleet
+from repro.fleet.store import SweepRow, SweepStore, cell_key, dump_rows
+from repro.fleet.sweep import (
+    FleetSweepConfig,
+    PolicyVariant,
+    SweepOutcome,
+    parse_policy_token,
+    run_fleet_sweep,
+    summarize_pareto,
+)
 from repro.fleet.workload import FleetWorkload, build_fleet_workload
 
 __all__ = [
     "FleetScenarioConfig",
     "FleetResult",
+    "FleetSweepConfig",
     "FleetWorkload",
+    "PolicyVariant",
+    "SweepOutcome",
+    "SweepRow",
+    "SweepStore",
     "build_fleet_workload",
+    "cell_key",
+    "dump_rows",
+    "parse_policy_token",
     "run_fleet",
+    "run_fleet_sweep",
+    "summarize_pareto",
 ]

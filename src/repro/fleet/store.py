@@ -1,0 +1,316 @@
+"""Append-only sqlite results store for fleet sweep campaigns.
+
+A sweep campaign (:mod:`repro.fleet.sweep`) evaluates a grid of
+``(scenario, seed, policy)`` cells, each an expensive fleet run. The
+store makes campaigns *resumable* and their results *queryable*: every
+completed cell lands as one immutable row keyed by a canonical config
+hash — the same construction as the trace cache key
+(:func:`repro.sim.trace_cache.trace_key`) — so
+
+* a cell's identity is a pure function of its configuration (scenario
+  with the seed applied, policy variant, fault spec, store format
+  version): two structurally equal cells collide on any machine, in any
+  process, in any campaign;
+* resuming a half-finished campaign is a set lookup — completed keys
+  are skipped, pending ones run, and because every cell is
+  deterministic in its config, the resumed rows are bit-identical to
+  the ones an uninterrupted run would have written;
+* the store is append-only: rows are never updated or deleted, a
+  duplicate insert is an error rather than an overwrite, and several
+  campaigns can share one store file without interfering.
+
+Schema (``STORE_FORMAT_VERSION`` pins it; a mismatched file is refused
+rather than migrated)::
+
+    meta      (key TEXT PRIMARY KEY, value TEXT)
+    campaigns (campaign_key TEXT PRIMARY KEY, spec_json TEXT)
+    results   (cell_key TEXT PRIMARY KEY, campaign_key TEXT,
+               scenario_json TEXT, policy_name TEXT, policy_json TEXT,
+               seed INTEGER, metrics_json TEXT)
+
+``metrics_json`` is the canonical JSON of
+:meth:`repro.metrics.streaming.FleetAccumulator.metrics_row` — the full
+shard-invariant signature (counters, sketch bins) plus the derived
+waste/read-age metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Union
+
+from repro.errors import ConfigurationError, ExportError
+from repro.sim.trace_cache import _canonical_default
+
+#: Bumped whenever the row schema or the key derivation changes; old
+#: store files are refused, never silently reinterpreted.
+STORE_FORMAT_VERSION = 1
+
+
+def canonical_json(payload: object) -> str:
+    """Canonical (sorted, compact) JSON used for keys and stored rows.
+
+    Dataclasses are serialized via ``asdict``; enum and Path fields use
+    the same stable encoding as the trace-cache key, so a policy's
+    ``PolicyKind`` hashes identically in both subsystems.
+    """
+    def _default(value: object) -> object:
+        # Dataclasses may sit anywhere in the payload (a campaign spec
+        # nests configs inside plain dicts), so the encoder unwraps them
+        # wherever it meets one, then falls back to the trace-cache
+        # encoding for enums/Paths.
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return dataclasses.asdict(value)
+        return _canonical_default(value)
+
+    try:
+        return json.dumps(
+            payload,
+            sort_keys=True,
+            separators=(",", ":"),
+            default=_default,
+        )
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"sweep configuration is not content-hashable: {exc}"
+        ) from exc
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def cell_key(
+    scenario: object,
+    policy_name: str,
+    policy: object,
+    faults: object = None,
+) -> str:
+    """Canonical content hash identifying one sweep cell.
+
+    ``scenario`` is the :class:`~repro.fleet.config.FleetScenarioConfig`
+    *with the cell's seed already applied* (the seed is a config field,
+    so it needs no separate slot). The fault spec participates because
+    it changes every metric; ``None`` and a null spec key identically
+    to keep clean campaigns stable.
+    """
+    if faults is not None and getattr(faults, "is_null", False):
+        faults = None
+    body = {
+        "store_format": STORE_FORMAT_VERSION,
+        "scenario": dataclasses.asdict(scenario),
+        "policy_name": policy_name,
+        "policy": dataclasses.asdict(policy),
+        "faults": None if faults is None else dataclasses.asdict(faults),
+    }
+    return _sha256(canonical_json(body))
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One completed sweep cell, exactly as stored."""
+
+    cell_key: str
+    campaign_key: str
+    scenario_json: str
+    policy_name: str
+    policy_json: str
+    seed: int
+    metrics_json: str
+
+    @property
+    def scenario(self) -> dict:
+        return json.loads(self.scenario_json)
+
+    @property
+    def policy(self) -> dict:
+        return json.loads(self.policy_json)
+
+    @property
+    def metrics(self) -> dict:
+        return json.loads(self.metrics_json)
+
+    def as_json(self) -> str:
+        """One deterministic JSON line (the ``--dump-rows`` format)."""
+        return canonical_json(
+            {
+                "cell_key": self.cell_key,
+                "campaign_key": self.campaign_key,
+                "scenario": self.scenario,
+                "policy_name": self.policy_name,
+                "policy": self.policy,
+                "seed": self.seed,
+                "metrics": self.metrics,
+            }
+        )
+
+
+def dump_rows(rows: Iterable[SweepRow]) -> str:
+    """Render rows as sorted JSONL — the byte-comparable store image.
+
+    Rows sort by ``cell_key``, so two stores holding the same campaign
+    dump byte-identically regardless of completion order (fresh vs
+    killed-and-resumed runs included).
+    """
+    return "\n".join(
+        row.as_json() for row in sorted(rows, key=lambda r: r.cell_key)
+    )
+
+
+class SweepStore:
+    """Append-only sqlite store of sweep results.
+
+    All write failures surface as :class:`~repro.errors.ExportError`
+    (the store path is user input, not an internal bug); a file written
+    by a different :data:`STORE_FORMAT_VERSION` raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = path
+        try:
+            self._conn = sqlite3.connect(str(path))
+            self._ensure_schema()
+        except sqlite3.Error as exc:
+            raise ExportError(
+                f"cannot open sweep store {path}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def _ensure_schema(self) -> None:
+        conn = self._conn
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta ("
+            "key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS campaigns ("
+            "campaign_key TEXT PRIMARY KEY, spec_json TEXT NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            "cell_key TEXT PRIMARY KEY, "
+            "campaign_key TEXT NOT NULL, "
+            "scenario_json TEXT NOT NULL, "
+            "policy_name TEXT NOT NULL, "
+            "policy_json TEXT NOT NULL, "
+            "seed INTEGER NOT NULL, "
+            "metrics_json TEXT NOT NULL)"
+        )
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS results_campaign "
+            "ON results (campaign_key)"
+        )
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'store_format'"
+        ).fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('store_format', ?)",
+                (str(STORE_FORMAT_VERSION),),
+            )
+            conn.commit()
+        elif row[0] != str(STORE_FORMAT_VERSION):
+            raise ConfigurationError(
+                f"sweep store {self._path} uses format {row[0]}, "
+                f"this build writes format {STORE_FORMAT_VERSION}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Union[str, Path]:
+        return self._path
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SweepStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def register_campaign(self, campaign_key: str, spec_json: str) -> None:
+        """Record the campaign spec (idempotent; keyed by its hash)."""
+        try:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO campaigns (campaign_key, spec_json) "
+                "VALUES (?, ?)",
+                (campaign_key, spec_json),
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise ExportError(
+                f"cannot write sweep store {self._path}: {exc}"
+            ) from exc
+
+    def existing_keys(self, keys: Sequence[str]) -> Set[str]:
+        """The subset of ``keys`` already completed in this store."""
+        found: Set[str] = set()
+        chunk = 500  # stay far under sqlite's bound-variable limit
+        for start in range(0, len(keys), chunk):
+            part = list(keys[start : start + chunk])
+            marks = ",".join("?" * len(part))
+            rows = self._conn.execute(
+                f"SELECT cell_key FROM results WHERE cell_key IN ({marks})",
+                part,
+            ).fetchall()
+            found.update(key for (key,) in rows)
+        return found
+
+    def append(self, row: SweepRow) -> None:
+        """Insert one completed cell; a duplicate key is an error."""
+        try:
+            self._conn.execute(
+                "INSERT INTO results (cell_key, campaign_key, scenario_json, "
+                "policy_name, policy_json, seed, metrics_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    row.cell_key,
+                    row.campaign_key,
+                    row.scenario_json,
+                    row.policy_name,
+                    row.policy_json,
+                    row.seed,
+                    row.metrics_json,
+                ),
+            )
+            self._conn.commit()
+        except sqlite3.IntegrityError as exc:
+            raise ExportError(
+                f"sweep store {self._path} already holds cell "
+                f"{row.cell_key[:12]}…: {exc}"
+            ) from exc
+        except sqlite3.Error as exc:
+            raise ExportError(
+                f"cannot write sweep store {self._path}: {exc}"
+            ) from exc
+
+    def rows(self, campaign_key: Optional[str] = None) -> List[SweepRow]:
+        """All rows (of one campaign, if given), ordered by cell key."""
+        query = (
+            "SELECT cell_key, campaign_key, scenario_json, policy_name, "
+            "policy_json, seed, metrics_json FROM results"
+        )
+        params: tuple = ()
+        if campaign_key is not None:
+            query += " WHERE campaign_key = ?"
+            params = (campaign_key,)
+        query += " ORDER BY cell_key"
+        return [
+            SweepRow(*fields)
+            for fields in self._conn.execute(query, params).fetchall()
+        ]
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepStore({str(self._path)!r}, rows={len(self)})"

@@ -386,6 +386,11 @@ class FleetAccumulator:
                 f"crashed bindings    {int(c['proxy_crashes'])} "
                 f"({c['crash_downtime']:.0f} s down, "
                 f"{int(c['lost_in_crash'])} arrivals lost)",
+                # report_entries_corrupted gates this block, so it must
+                # also be printed: a corruption-only faulty run would
+                # otherwise emit an all-zero fault block with the actual
+                # signal missing.
+                f"corrupted reports   {int(c['report_entries_corrupted'])}",
             ]
         return "\n".join(lines)
 
@@ -414,3 +419,22 @@ class FleetAccumulator:
             "read_delay_sum": self.counters["read_delay_sum"],
             "sketch_counts": sketch_counts,
         }
+
+    def metrics_row(self) -> Dict[str, object]:
+        """:meth:`signature` plus the derived fleet-level metrics.
+
+        This is the payload the sweep results store persists per cell
+        (:mod:`repro.fleet.store`): every integer entry is bit-identical
+        across any ``(shards, jobs)`` partitioning, and the float
+        entries (``read_delay_sum`` plus everything derived from it and
+        the sketch) carry only the documented reassociation tolerance —
+        so re-running a cell reproduces its stored row.
+        """
+        row = self.signature()
+        sketch = self.read_delay_sketch
+        row["waste"] = self.waste
+        row["mean_read_age"] = self.mean_read_age
+        row["read_age_p50"] = sketch.percentile(0.5)
+        row["read_age_p95"] = sketch.percentile(0.95)
+        row["read_age_p99"] = sketch.percentile(0.99)
+        return row

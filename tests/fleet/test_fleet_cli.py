@@ -78,6 +78,7 @@ class TestFleetCli:
             ["--devices", "0"],
             ["--days", "0"],
             ["--shards", "0"],
+            ["--jobs", "-1"],
             ["--faults", "no-such-preset"],
             ["--audit", "0"],
         ],
@@ -86,6 +87,24 @@ class TestFleetCli:
         with pytest.raises(SystemExit) as excinfo:
             fleet_cli.main(argv)
         assert excinfo.value.code == 2
+
+    def test_json_reports_tail_percentiles(self, capsys):
+        rc = fleet_cli.main(["--devices", "10", "--format", "json", "--quiet"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["read_age_p99"] >= payload["read_age_p95"]
+
+    def test_unwritable_output_is_typed_error(self, tmp_path, capsys):
+        # Regression: a bare write_text here used to leak a raw OSError
+        # traceback after the (possibly long) campaign had completed.
+        target = tmp_path / "no-such-dir" / "fleet.txt"
+        rc = fleet_cli.main(
+            ["--devices", "5", "--quiet", "--output", str(target)]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: cannot write output" in err
+        assert "Traceback" not in err
 
     def test_workload_overrides_change_outcome(self, capsys):
         fleet_cli.main(["--devices", "12", "--format", "json", "--quiet"])

@@ -113,6 +113,46 @@ class TestQuantileSketch:
     def test_empty_percentile_is_zero(self):
         assert QuantileSketch().percentile(0.5) == 0.0
 
+    @pytest.mark.parametrize("upper,bins", [(100.0, 10), (1.0, 3), (1000.0, 7)])
+    def test_value_one_ulp_below_upper_stays_in_bound(self, upper, bins):
+        """The last representable in-range value must report within the
+        documented ``bin_width / 2`` — even when ``value / bin_width``
+        rounds up to ``bins`` (an inexact width can push the division to
+        the overflow bin, whose reported value is ``upper`` exactly)."""
+        value = math.nextafter(upper, 0.0)
+        sketch = QuantileSketch(upper=upper, bins=bins)
+        sketch.push(value)
+        assert abs(sketch.percentile(1.0) - value) <= sketch.bin_width / 2
+
+    def test_single_bin_percentile_one(self):
+        """bins=1 degenerates to one in-range bin spanning [0, upper);
+        percentile(1.0) is its midpoint for in-range values."""
+        sketch = QuantileSketch(upper=10.0, bins=1)
+        sketch.push(3.0)
+        assert sketch.percentile(1.0) == pytest.approx(5.0)
+        sketch.push(10.0)  # at upper -> overflow bin, clamps
+        assert sketch.percentile(1.0) == 10.0
+
+    def test_merge_into_empty_round_trip(self):
+        donor = QuantileSketch(upper=100.0, bins=10)
+        for v in (5.0, 42.0, 99.0, 250.0):
+            donor.push(v)
+        empty = QuantileSketch(upper=100.0, bins=10)
+        empty.merge(donor)
+        assert empty._counts == donor._counts
+        assert empty.count == donor.count
+        for p in (0.5, 1.0):
+            assert empty.percentile(p) == donor.percentile(p)
+
+    def test_merge_from_empty_is_identity(self):
+        sketch = QuantileSketch(upper=100.0, bins=10)
+        for v in (5.0, 42.0):
+            sketch.push(v)
+        before_counts = list(sketch._counts)
+        sketch.merge(QuantileSketch(upper=100.0, bins=10))
+        assert sketch._counts == before_counts
+        assert sketch.count == 2
+
 
 class TestQuantileSketchErrorBound:
     """Pin the documented approximation bound of sketched percentiles."""
@@ -218,3 +258,23 @@ class TestFleetAccumulator:
         acc.counters["delivery_drops"] = 3
         acc.counters["delivery_retries"] = 3
         assert "delivery drops" in acc.describe()
+
+    def test_describe_shows_corruption_only_faults(self):
+        # Regression: report_entries_corrupted gated the fault block but
+        # was never printed, so a corruption-only run described itself
+        # as an all-zero fault block with the actual signal missing.
+        acc = FleetAccumulator()
+        acc.add_device(self._device(reads=1, forwards=1))
+        acc.counters["report_entries_corrupted"] = 7
+        text = acc.describe()
+        assert "corrupted reports   7" in text
+
+    def test_metrics_row_extends_signature(self):
+        acc = FleetAccumulator()
+        acc.add_device(self._device(reads=2, forwards=4))
+        row = acc.metrics_row()
+        for key, value in acc.signature().items():
+            assert row[key] == value
+        assert row["waste"] == pytest.approx(acc.waste)
+        assert row["mean_read_age"] == pytest.approx(acc.mean_read_age)
+        assert row["read_age_p99"] >= row["read_age_p50"]
