@@ -1,0 +1,115 @@
+"""Fleet tune benchmarks: search throughput and workload-cache reuse.
+
+A tune campaign evaluates many policy candidates against the same
+``(scenario, seed)`` cells, so the per-seed workload build must happen
+once per seed (served from :class:`repro.experiments.parallel.
+FleetWorkloadCache`), not once per candidate. The cache bench pins that
+at the build layer, mirroring the sweep's shared-workload bench; the
+campaign bench measures end-to-end evaluations per second through the
+store-backed search loop.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.parallel import FleetWorkloadCache
+from repro.fleet import FleetScenarioConfig
+from repro.fleet.store import SweepStore
+from repro.fleet.tune import TuneConfig, TuneParam, run_fleet_tune
+from repro.fleet.workload import build_fleet_workload
+from repro.units import DAY
+from repro.workload.arrivals import ArrivalConfig
+from repro.workload.outages import OutageConfig
+from repro.workload.reads import ReadConfig
+
+#: Same light per-device workload as the fleet/sweep benchmarks.
+_LIGHT = dict(
+    arrivals=ArrivalConfig(events_per_day=2.0),
+    reads=ReadConfig(reads_per_day=0.5),
+    outages=OutageConfig(downtime_fraction=0.1),
+)
+
+#: Candidates sharing one (scenario, seed) cell group — the reuse
+#: factor a campaign's screening round sees.
+_CANDIDATES = 4
+
+
+def _fleet_config(devices: int) -> FleetScenarioConfig:
+    return FleetScenarioConfig(devices=devices, duration=DAY, seed=0, **_LIGHT)
+
+
+@pytest.mark.benchmark(group="fleet_tune")
+def test_bench_fleet_tune_workload_cache(benchmark):
+    """Cached builds >= 2x faster than per-candidate rebuilds.
+
+    The theoretical ratio is ``_CANDIDATES`` (one build amortized over
+    every candidate of a seed); the 2x floor leaves room for CI noise
+    while still catching the cache being silently bypassed.
+    """
+    import time
+
+    config = _fleet_config(4_000)
+
+    def _through_cache():
+        cache = FleetWorkloadCache(maxsize=2)
+        for _ in range(_CANDIDATES):
+            workload = cache.get(config)
+        assert cache.builds == 1
+        assert cache.hits == _CANDIDATES - 1
+        return workload
+
+    workload = benchmark.pedantic(_through_cache, rounds=3, iterations=1)
+    assert workload.devices == 4_000
+    cached = benchmark.stats.stats.min
+
+    rebuild_samples = []
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(_CANDIDATES):
+            build_fleet_workload(config)
+        rebuild_samples.append(time.perf_counter() - started)
+    rebuild = min(rebuild_samples)
+
+    assert rebuild / cached >= 2.0, (
+        f"workload-cache reuse collapsed: cached={cached * 1e3:.1f}ms "
+        f"vs {_CANDIDATES}x rebuild={rebuild * 1e3:.1f}ms"
+    )
+
+
+@pytest.mark.benchmark(group="fleet_tune")
+def test_bench_fleet_tune_campaign(benchmark):
+    """A small campaign end-to-end: search, execute, store, record best.
+
+    500 devices, a 2-parameter space, 2 seeds with 1-seed screening —
+    small enough for the bench gate, large enough that fleet execution
+    (not sqlite or the search bookkeeping) dominates. Each round gets a
+    fresh store so every evaluation is computed, not replayed.
+    """
+    config = TuneConfig(
+        base=_fleet_config(500),
+        space=(
+            TuneParam("ma_window", lo=2, hi=32, integer=True),
+            TuneParam("delay", choices=(0.0, 60.0)),
+        ),
+        preset="unified",
+        seeds=(0, 1),
+        screen_seeds=1,
+        samples=4,
+        survivors=2,
+        refine_rounds=1,
+    )
+
+    def _run():
+        with tempfile.TemporaryDirectory() as tmp:
+            with SweepStore(Path(tmp) / "bench.sqlite") as store:
+                return run_fleet_tune(config, store, shards=2)
+
+    outcome = benchmark.pedantic(_run, rounds=2, iterations=1)
+    assert outcome.incumbent is not None
+    assert outcome.best_recorded
+    assert outcome.reused == 0
+    evals_per_second = outcome.evaluations / benchmark.stats.stats.min
+    benchmark.extra_info["evaluations"] = outcome.evaluations
+    benchmark.extra_info["evals_per_second"] = round(evals_per_second, 2)

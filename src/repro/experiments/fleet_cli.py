@@ -13,7 +13,9 @@ Examples::
     repro-lasthop fleet --devices 1000 --policy rate --days 7 --format json
 
 ``repro-lasthop fleet sweep`` runs whole campaign grids into a results
-store; see :mod:`repro.experiments.fleet_sweep_cli`.
+store; see :mod:`repro.experiments.fleet_sweep_cli`. ``repro-lasthop
+fleet tune`` adaptively searches one policy preset's parameter space
+through the same store; see :mod:`repro.experiments.fleet_tune_cli`.
 """
 
 from __future__ import annotations
@@ -179,13 +181,17 @@ def _emit(text: str, output: Optional[Path]) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    # `sweep` is a subcommand with its own flag set; dispatch before the
-    # single-campaign parser so their flags never collide.
+    # `sweep`/`tune` are subcommands with their own flag sets; dispatch
+    # before the single-campaign parser so their flags never collide.
     args_list = sys.argv[1:] if argv is None else list(argv)
     if args_list and args_list[0] == "sweep":
         from repro.experiments.fleet_sweep_cli import main as sweep_main
 
         return sweep_main(args_list[1:])
+    if args_list and args_list[0] == "tune":
+        from repro.experiments.fleet_tune_cli import main as tune_main
+
+        return tune_main(args_list[1:])
 
     parser = build_parser()
     args = parser.parse_args(args_list)

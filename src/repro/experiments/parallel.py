@@ -333,6 +333,46 @@ def publish_grid_traces(
     return shm_set
 
 
+class FleetWorkloadCache:
+    """Small LRU of built fleet workloads, keyed by scenario config.
+
+    The sweep layer never needs this — its scenario-major cell order
+    visits each ``(scenario, seed)`` group exactly once. The tune layer
+    (:mod:`repro.fleet.tune`) does: every search round re-evaluates
+    candidates against the *same* seeded scenarios, and the vectorized
+    workload build is the only per-evaluation cost that does not depend
+    on the policy. One cache entry per campaign seed makes repeat
+    visits free, which is what the evaluations-per-second bench pins.
+
+    ``FleetScenarioConfig`` is frozen and hashable, so the config is
+    its own key; entries evict least-recently-used beyond ``maxsize``.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self.builds = 0
+        self.hits = 0
+
+    def get(self, config):
+        """The built workload for ``config``, building on first use."""
+        from repro.fleet.workload import build_fleet_workload
+
+        entry = self._entries.get(config)
+        if entry is not None:
+            self._entries.move_to_end(config)
+            self.hits += 1
+            return entry
+        workload = build_fleet_workload(config)
+        self.builds += 1
+        self._entries[config] = workload
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+        return workload
+
+
 def run_fleet_policy_batch(
     workload,
     policies: Sequence[PolicyConfig],

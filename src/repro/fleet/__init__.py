@@ -25,11 +25,21 @@ Entry points:
   :func:`~repro.fleet.sweep.run_fleet_sweep` — grid scenario knobs ×
   policy variants × seeds into an append-only, resumable results store
   (:class:`~repro.fleet.store.SweepStore`).
+* :class:`~repro.fleet.tune.TuneConfig` /
+  :func:`~repro.fleet.tune.run_fleet_tune` — adaptive, deterministic
+  search over a policy preset's parameter space through the same store,
+  with best-known-variant regression tracking.
 """
 
 from repro.fleet.config import FleetScenarioConfig
 from repro.fleet.runner import FleetResult, run_fleet
-from repro.fleet.store import SweepRow, SweepStore, cell_key, dump_rows
+from repro.fleet.store import (
+    BestRow,
+    SweepRow,
+    SweepStore,
+    cell_key,
+    dump_rows,
+)
 from repro.fleet.sweep import (
     FleetSweepConfig,
     PolicyVariant,
@@ -38,9 +48,17 @@ from repro.fleet.sweep import (
     run_fleet_sweep,
     summarize_pareto,
 )
+from repro.fleet.tune import (
+    TuneConfig,
+    TuneObjective,
+    TuneOutcome,
+    TuneParam,
+    run_fleet_tune,
+)
 from repro.fleet.workload import FleetWorkload, build_fleet_workload
 
 __all__ = [
+    "BestRow",
     "FleetScenarioConfig",
     "FleetResult",
     "FleetSweepConfig",
@@ -49,11 +67,16 @@ __all__ = [
     "SweepOutcome",
     "SweepRow",
     "SweepStore",
+    "TuneConfig",
+    "TuneObjective",
+    "TuneOutcome",
+    "TuneParam",
     "build_fleet_workload",
     "cell_key",
     "dump_rows",
     "parse_policy_token",
     "run_fleet",
     "run_fleet_sweep",
+    "run_fleet_tune",
     "summarize_pareto",
 ]

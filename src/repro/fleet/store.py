@@ -19,19 +19,32 @@ hash — the same construction as the trace cache key
   duplicate insert is an error rather than an overwrite, and several
   campaigns can share one store file without interfering.
 
-Schema (``STORE_FORMAT_VERSION`` pins it; a mismatched file is refused
-rather than migrated)::
+Schema (``STORE_FORMAT_VERSION`` pins it; an *older* known format is
+upgraded in place — every version step so far is purely additive — and
+a *newer* format is refused with a typed error rather than
+reinterpreted)::
 
     meta      (key TEXT PRIMARY KEY, value TEXT)
     campaigns (campaign_key TEXT PRIMARY KEY, spec_json TEXT)
     results   (cell_key TEXT PRIMARY KEY, campaign_key TEXT,
                scenario_json TEXT, policy_name TEXT, policy_json TEXT,
                seed INTEGER, metrics_json TEXT)
+    best      (family_key TEXT PRIMARY KEY, label TEXT,
+               campaign_key TEXT, variant_name TEXT, policy_json TEXT,
+               params_json TEXT, objective REAL, objective_json TEXT,
+               seeds_json TEXT)
 
 ``metrics_json`` is the canonical JSON of
 :meth:`repro.metrics.streaming.FleetAccumulator.metrics_row` — the full
 shard-invariant signature (counters, sketch bins) plus the derived
 waste/read-age metrics.
+
+``results`` is append-only. ``best`` (format 2, the tune layer's
+regression-tracking index; see :mod:`repro.fleet.tune`) is the one
+deliberate exception: it holds the best-known policy variant per
+scenario family and is overwritten only by a strictly better objective
+(:meth:`SweepStore.record_best`), so its content is monotone improving
+and still deterministic for a deterministic campaign sequence.
 """
 
 from __future__ import annotations
@@ -47,9 +60,21 @@ from typing import Iterable, List, Optional, Sequence, Set, Union
 from repro.errors import ConfigurationError, ExportError
 from repro.sim.trace_cache import _canonical_default
 
-#: Bumped whenever the row schema or the key derivation changes; old
-#: store files are refused, never silently reinterpreted.
-STORE_FORMAT_VERSION = 1
+#: Bumped whenever the schema grows; files written by an *older* format
+#: upgrade in place on open (all steps so far add tables, never touch
+#: rows), files written by a *newer* format are refused with
+#: :class:`~repro.errors.ExportError`.
+#:
+#: Version history: 1 = meta/campaigns/results (PR 9); 2 = + ``best``.
+STORE_FORMAT_VERSION = 2
+
+#: Version pin folded into every :func:`cell_key`. Deliberately
+#: independent of :data:`STORE_FORMAT_VERSION`: the v1→v2 schema step
+#: did not change row content or key derivation, and keeping the key
+#: pin at 1 is what lets an upgraded v1 store resume its campaigns —
+#: the old rows still match the keys a new build derives. Bump it (and
+#: the store version) only when the key derivation itself changes.
+CELL_KEY_FORMAT_VERSION = 1
 
 
 def canonical_json(payload: object) -> str:
@@ -101,8 +126,11 @@ def cell_key(
     """
     if faults is not None and getattr(faults, "is_null", False):
         faults = None
+    # The JSON field keeps its historical name "store_format" (with the
+    # pinned CELL_KEY_FORMAT_VERSION value) so every key minted by a
+    # format-1 build stays byte-identical — see the pin's docstring.
     body = {
-        "store_format": STORE_FORMAT_VERSION,
+        "store_format": CELL_KEY_FORMAT_VERSION,
         "scenario": dataclasses.asdict(scenario),
         "policy_name": policy_name,
         "policy": dataclasses.asdict(policy),
@@ -150,6 +178,53 @@ class SweepRow:
         )
 
 
+@dataclass(frozen=True)
+class BestRow:
+    """Best-known policy variant for one scenario family.
+
+    ``family_key`` hashes everything that makes objectives comparable:
+    the scenario minus its seed, the seed set, the objective spec, and
+    the fault spec (:func:`repro.fleet.tune.family_key`). ``objective``
+    is the scalarized value being minimized; ``objective_json`` records
+    the spec it was computed under, so a report never compares numbers
+    with different semantics.
+    """
+
+    family_key: str
+    label: str
+    campaign_key: str
+    variant_name: str
+    policy_json: str
+    params_json: str
+    objective: float
+    objective_json: str
+    seeds_json: str
+
+    @property
+    def params(self) -> dict:
+        return json.loads(self.params_json)
+
+    @property
+    def seeds(self) -> list:
+        return json.loads(self.seeds_json)
+
+    def as_json(self) -> str:
+        """One deterministic JSON line (fixture dumps and reports)."""
+        return canonical_json(
+            {
+                "family_key": self.family_key,
+                "label": self.label,
+                "campaign_key": self.campaign_key,
+                "variant_name": self.variant_name,
+                "policy": json.loads(self.policy_json),
+                "params": self.params,
+                "objective": self.objective,
+                "objective_spec": json.loads(self.objective_json),
+                "seeds": self.seeds,
+            }
+        )
+
+
 def dump_rows(rows: Iterable[SweepRow]) -> str:
     """Render rows as sorted JSONL — the byte-comparable store image.
 
@@ -166,9 +241,11 @@ class SweepStore:
     """Append-only sqlite store of sweep results.
 
     All write failures surface as :class:`~repro.errors.ExportError`
-    (the store path is user input, not an internal bug); a file written
-    by a different :data:`STORE_FORMAT_VERSION` raises
-    :class:`~repro.errors.ConfigurationError`.
+    (the store path is user input, not an internal bug). A file written
+    by an older known :data:`STORE_FORMAT_VERSION` upgrades in place on
+    open; one written by a newer (or unrecognizable) format raises
+    :class:`~repro.errors.ExportError` — this build cannot know what it
+    would be reinterpreting.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
@@ -206,6 +283,18 @@ class SweepStore:
             "CREATE INDEX IF NOT EXISTS results_campaign "
             "ON results (campaign_key)"
         )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS best ("
+            "family_key TEXT PRIMARY KEY, "
+            "label TEXT NOT NULL, "
+            "campaign_key TEXT NOT NULL, "
+            "variant_name TEXT NOT NULL, "
+            "policy_json TEXT NOT NULL, "
+            "params_json TEXT NOT NULL, "
+            "objective REAL NOT NULL, "
+            "objective_json TEXT NOT NULL, "
+            "seeds_json TEXT NOT NULL)"
+        )
         row = conn.execute(
             "SELECT value FROM meta WHERE key = 'store_format'"
         ).fetchone()
@@ -215,11 +304,35 @@ class SweepStore:
                 (str(STORE_FORMAT_VERSION),),
             )
             conn.commit()
-        elif row[0] != str(STORE_FORMAT_VERSION):
-            raise ConfigurationError(
-                f"sweep store {self._path} uses format {row[0]}, "
-                f"this build writes format {STORE_FORMAT_VERSION}"
+            return
+        try:
+            found = int(row[0])
+        except ValueError:
+            found = -1
+        if found == STORE_FORMAT_VERSION:
+            return
+        if 1 <= found < STORE_FORMAT_VERSION:
+            # Every step so far only adds tables; the CREATE IF NOT
+            # EXISTS statements above are the whole upgrade. Existing
+            # rows (and their keys — see CELL_KEY_FORMAT_VERSION) are
+            # untouched, so old campaigns stay resumable.
+            conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'store_format'",
+                (str(STORE_FORMAT_VERSION),),
             )
+            conn.commit()
+            return
+        if found > STORE_FORMAT_VERSION:
+            raise ExportError(
+                f"sweep store {self._path} uses format {row[0]}, newer "
+                f"than this build's format {STORE_FORMAT_VERSION}; "
+                f"refusing to reinterpret it"
+            )
+        raise ExportError(
+            f"sweep store {self._path} declares unrecognized format "
+            f"{row[0]!r}; this build reads formats "
+            f"1..{STORE_FORMAT_VERSION}"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -292,6 +405,21 @@ class SweepStore:
                 f"cannot write sweep store {self._path}: {exc}"
             ) from exc
 
+    def get(self, cell_key: str) -> Optional[SweepRow]:
+        """The stored row for one cell key, from any campaign.
+
+        Cell identity is content-addressed, so a row computed by one
+        campaign is valid for every other campaign that derives the
+        same key — the tune layer leans on this to reuse evaluations.
+        """
+        row = self._conn.execute(
+            "SELECT cell_key, campaign_key, scenario_json, policy_name, "
+            "policy_json, seed, metrics_json FROM results "
+            "WHERE cell_key = ?",
+            (cell_key,),
+        ).fetchone()
+        return None if row is None else SweepRow(*row)
+
     def rows(self, campaign_key: Optional[str] = None) -> List[SweepRow]:
         """All rows (of one campaign, if given), ordered by cell key."""
         query = (
@@ -307,6 +435,63 @@ class SweepStore:
             SweepRow(*fields)
             for fields in self._conn.execute(query, params).fetchall()
         ]
+
+    # ------------------------------------------------------------------
+    # Best-known variants (the tune layer's regression-tracking index)
+    # ------------------------------------------------------------------
+    _BEST_COLUMNS = (
+        "family_key, label, campaign_key, variant_name, policy_json, "
+        "params_json, objective, objective_json, seeds_json"
+    )
+
+    def record_best(self, row: BestRow) -> bool:
+        """Install ``row`` if it beats the family's stored incumbent.
+
+        Returns ``True`` when the row was written (family absent, or
+        ``row.objective`` strictly smaller than the stored one). Ties
+        keep the incumbent, so replaying a campaign that rediscovers
+        the same optimum leaves the store byte-identical.
+        """
+        current = self.get_best(row.family_key)
+        if current is not None and not row.objective < current.objective:
+            return False
+        try:
+            self._conn.execute(
+                f"INSERT OR REPLACE INTO best ({self._BEST_COLUMNS}) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    row.family_key,
+                    row.label,
+                    row.campaign_key,
+                    row.variant_name,
+                    row.policy_json,
+                    row.params_json,
+                    row.objective,
+                    row.objective_json,
+                    row.seeds_json,
+                ),
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise ExportError(
+                f"cannot write sweep store {self._path}: {exc}"
+            ) from exc
+        return True
+
+    def get_best(self, family_key: str) -> Optional[BestRow]:
+        """The stored incumbent for one scenario family, if any."""
+        row = self._conn.execute(
+            f"SELECT {self._BEST_COLUMNS} FROM best WHERE family_key = ?",
+            (family_key,),
+        ).fetchone()
+        return None if row is None else BestRow(*row)
+
+    def best_rows(self) -> List[BestRow]:
+        """Every family's incumbent, ordered by family key."""
+        rows = self._conn.execute(
+            f"SELECT {self._BEST_COLUMNS} FROM best ORDER BY family_key"
+        ).fetchall()
+        return [BestRow(*fields) for fields in rows]
 
     def __len__(self) -> int:
         (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()

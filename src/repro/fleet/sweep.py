@@ -111,18 +111,39 @@ def parse_policy_token(token: str) -> PolicyVariant:
         return PolicyVariant(name=token, policy=SWEEP_POLICY_PRESETS[token]())
     if token.startswith("buffer:"):
         raw = token[len("buffer:"):]
-        try:
-            limit = int(raw)
-        except ValueError:
+        # Only a bare non-negative integer: int() would also accept
+        # "+3", " 3", and "1_0", silently minting variant names that
+        # differ from their canonical spelling (and thus distinct store
+        # keys for the same policy).
+        if not (raw.isascii() and raw.isdigit()):
             raise ConfigurationError(
-                f"buffer policy limit must be an integer, got {raw!r}"
-            ) from None
+                f"buffer policy limit must be a bare non-negative "
+                f"integer, got {raw!r}"
+            )
         return PolicyVariant(
-            name=token, policy=PolicyConfig.buffer(prefetch_limit=limit)
+            name=token, policy=PolicyConfig.buffer(prefetch_limit=int(raw))
         )
     raise ConfigurationError(
         f"unknown policy {token!r}; expected one of "
         f"{', '.join(sorted(SWEEP_POLICY_PRESETS))}, or buffer:N"
+    )
+
+
+def policy_preset_constructor(preset: object) -> Callable[..., PolicyConfig]:
+    """The :class:`PolicyConfig` constructor behind a preset name.
+
+    The shared face of preset resolution for grid files *and* the tune
+    layer (:mod:`repro.fleet.tune` maps its parameter space onto the
+    constructor's keyword arguments): ``buffer`` resolves alongside the
+    zero-argument presets, anything else is a typed error.
+    """
+    if preset == "buffer":
+        return PolicyConfig.buffer
+    if isinstance(preset, str) and preset in SWEEP_POLICY_PRESETS:
+        return SWEEP_POLICY_PRESETS[preset]
+    raise ConfigurationError(
+        f"unknown policy preset {preset!r}; expected one of "
+        f"{', '.join(sorted(SWEEP_POLICY_PRESETS))}, or buffer"
     )
 
 
@@ -133,7 +154,9 @@ def policy_variant_from_spec(spec: object) -> PolicyVariant:
     ``{"name": ..., "preset": ..., "params": {...}}`` where ``params``
     are keyword arguments of the preset's constructor (e.g.
     ``{"name": "u-delay", "preset": "unified", "params":
-    {"delay": 60.0}}``).
+    {"delay": 60.0}}``). Without a ``name``, the variant is named by
+    the canonical JSON of ``{preset: params}`` — the deterministic
+    naming the tune layer relies on for its store keys.
     """
     if isinstance(spec, str):
         return parse_policy_token(spec)
@@ -147,15 +170,7 @@ def policy_variant_from_spec(spec: object) -> PolicyVariant:
             f"unknown policy spec keys: {', '.join(sorted(unknown))}"
         )
     preset = spec.get("preset")
-    if preset == "buffer":
-        ctor: Callable[..., PolicyConfig] = PolicyConfig.buffer
-    elif preset in SWEEP_POLICY_PRESETS:
-        ctor = SWEEP_POLICY_PRESETS[preset]
-    else:
-        raise ConfigurationError(
-            f"unknown policy preset {preset!r}; expected one of "
-            f"{', '.join(sorted(SWEEP_POLICY_PRESETS))}, or buffer"
-        )
+    ctor = policy_preset_constructor(preset)
     params = spec.get("params", {})
     if not isinstance(params, dict):
         raise ConfigurationError("policy spec 'params' must be an object")

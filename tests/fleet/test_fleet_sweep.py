@@ -13,8 +13,11 @@ The load-bearing claims under test:
   flags the non-dominated (waste, loss) points.
 """
 
+import dataclasses
+import hashlib
 import json
 import os
+import sqlite3
 import tempfile
 
 import pytest
@@ -139,7 +142,18 @@ class TestPolicyParsing:
         assert buffered.name == "buffer:8"
         assert buffered.policy.prefetch_limit == 8
 
-    @pytest.mark.parametrize("token", ["nope", "buffer:x", "buffer:"])
+    @pytest.mark.parametrize(
+        "token",
+        [
+            "nope", "buffer:x", "buffer:",
+            # Regression: int() accepts sign/whitespace/underscore forms
+            # that would mint distinct variant names for the same limit
+            # (buffer:8 vs buffer:+8), splitting store cells. Only a
+            # bare non-negative integer is a valid limit token.
+            "buffer:+3", "buffer: 3", "buffer:-1", "buffer:1_0",
+            "buffer:³",
+        ],
+    )
     def test_rejects_bad_tokens(self, token):
         with pytest.raises(ConfigurationError):
             parse_policy_token(token)
@@ -202,7 +216,32 @@ class TestSweepStore:
         with pytest.raises(ExportError):
             SweepStore(tmp_path / "missing-dir" / "store.sqlite")
 
-    def test_format_version_mismatch_refused(self, tmp_path):
+    def _write_v1_store(self, path, rows=()):
+        """A genuine PR 9-format file: no ``best`` table, format 1."""
+        conn = sqlite3.connect(str(path))
+        conn.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        conn.execute(
+            "CREATE TABLE campaigns (campaign_key TEXT PRIMARY KEY, "
+            "spec_json TEXT NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE results (cell_key TEXT PRIMARY KEY, "
+            "campaign_key TEXT NOT NULL, scenario_json TEXT NOT NULL, "
+            "policy_name TEXT NOT NULL, policy_json TEXT NOT NULL, "
+            "seed INTEGER NOT NULL, metrics_json TEXT NOT NULL)"
+        )
+        conn.execute("INSERT INTO meta VALUES ('store_format', '1')")
+        for row in rows:
+            conn.execute(
+                "INSERT INTO results VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (row.cell_key, row.campaign_key, row.scenario_json,
+                 row.policy_name, row.policy_json, row.seed,
+                 row.metrics_json),
+            )
+        conn.commit()
+        conn.close()
+
+    def test_newer_format_refused_with_typed_error(self, tmp_path):
         path = tmp_path / "store.sqlite"
         with SweepStore(path) as store:
             store._conn.execute(
@@ -210,8 +249,52 @@ class TestSweepStore:
                 (str(STORE_FORMAT_VERSION + 1),),
             )
             store._conn.commit()
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ExportError, match="newer"):
             SweepStore(path)
+
+    def test_unrecognized_format_refused_with_typed_error(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with SweepStore(path) as store:
+            store._conn.execute(
+                "UPDATE meta SET value = 'banana' "
+                "WHERE key = 'store_format'"
+            )
+            store._conn.commit()
+        with pytest.raises(ExportError, match="unrecognized"):
+            SweepStore(path)
+
+    def test_v1_store_upgrades_in_place(self, tmp_path):
+        """A PR 9-format file opens, gains the ``best`` table, keeps its
+        rows addressable — old campaigns stay resumable after upgrade."""
+        path = tmp_path / "store.sqlite"
+        self._write_v1_store(path, rows=[self._row("k1")])
+        with SweepStore(path) as store:
+            assert store.existing_keys(["k1"]) == {"k1"}
+            assert store.rows("c1")[0].metrics == {"forwarded": 3}
+            assert store.best_rows() == []  # the new table, empty
+            value = store._conn.execute(
+                "SELECT value FROM meta WHERE key = 'store_format'"
+            ).fetchone()[0]
+            assert int(value) == STORE_FORMAT_VERSION
+        # Reopening the upgraded file is a no-op.
+        with SweepStore(path) as store:
+            assert len(store) == 1
+
+    def test_v1_upgrade_preserves_cell_keys(self, tmp_path):
+        """The key a v1 build derived matches the one this build derives
+        for the same cell (CELL_KEY_FORMAT_VERSION pins it), so a
+        campaign started before the upgrade resumes without recompute."""
+        scenario = FleetScenarioConfig(devices=12)
+        key = cell_key(scenario, "online", PolicyConfig.online())
+        # The exact derivation a format-1 build used, spelled out.
+        v1_body = canonical_json({
+            "store_format": 1,
+            "scenario": dataclasses.asdict(scenario),
+            "policy_name": "online",
+            "policy": dataclasses.asdict(PolicyConfig.online()),
+            "faults": None,
+        })
+        assert key == hashlib.sha256(v1_body.encode("utf-8")).hexdigest()
 
     def test_dump_rows_sorted_and_stable(self):
         a, b = self._row("aa"), self._row("zz")
@@ -363,6 +446,72 @@ class TestParetoSummary:
         config = _tiny_config()
         summaries = summarize_pareto(config, [])
         assert summaries == []
+
+    def _synthetic_rows(self, config, metrics_by_name):
+        """Hand-built rows keyed exactly as the sweep would key them."""
+        rows = []
+        for scenario in config.scenario_grid():
+            for seed in config.seeds:
+                seeded = scenario.with_changes(seed=seed)
+                for variant in config.policies:
+                    rows.append(SweepRow(
+                        cell_key=cell_key(
+                            seeded, variant.name, variant.policy
+                        ),
+                        campaign_key="c",
+                        scenario_json=canonical_json(seeded),
+                        policy_name=variant.name,
+                        policy_json=canonical_json(variant.policy),
+                        seed=seed,
+                        metrics_json=canonical_json(
+                            metrics_by_name[variant.name]
+                        ),
+                    ))
+        return rows
+
+    def test_zero_read_baseline_yields_zero_loss(self):
+        """A baseline that read nothing (``online_read == 0``) defines
+        loss as 0.0 for every policy — no division by zero, and waste
+        alone decides the front."""
+        config = _tiny_config(axes=())
+        rows = self._synthetic_rows(config, {
+            "online": {"waste": 1.0, "mean_read_age": 0.0,
+                       "forwarded": 5, "messages_read": 0},
+            "unified": {"waste": 0.25, "mean_read_age": 0.0,
+                        "forwarded": 2, "messages_read": 0},
+        })
+        (family,) = summarize_pareto(config, rows)
+        by_name = {p.name: p for p in family.policies}
+        assert by_name["online"].loss == 0.0
+        assert by_name["unified"].loss == 0.0
+        assert by_name["unified"].on_front
+        assert not by_name["online"].on_front  # dominated on waste
+
+    def test_identical_points_all_on_front(self):
+        """Pareto dominance is strict: coincident (waste, loss) points
+        do not dominate each other, so an all-tied family keeps every
+        policy on the front."""
+        config = _tiny_config(axes=())
+        same = {"waste": 0.5, "mean_read_age": 10.0,
+                "forwarded": 3, "messages_read": 3}
+        rows = self._synthetic_rows(
+            config, {"online": same, "unified": same}
+        )
+        (family,) = summarize_pareto(config, rows)
+        assert all(p.on_front for p in family.policies)
+
+    def test_single_policy_family_is_trivially_on_front(self):
+        config = _tiny_config(
+            policies=(parse_policy_token("online"),), axes=()
+        )
+        rows = self._synthetic_rows(config, {
+            "online": {"waste": 1.0, "mean_read_age": 0.0,
+                       "forwarded": 5, "messages_read": 5},
+        })
+        (family,) = summarize_pareto(config, rows)
+        (point,) = family.policies
+        assert point.on_front
+        assert point.loss == 0.0  # it is its own baseline
 
 
 class TestSweepCli:
